@@ -1,0 +1,61 @@
+"""Ablation: brick size and vector length (paper Section 5.2.2).
+
+The paper suggests that changing the brick size "would expose more
+vector parallelism, amortize shuffling, and potentially improve data
+locality".  This sweep simulates the 13pt stencil on the A100 with
+several brick shapes and reports the predicted effects: longer bricks
+amortise halo traffic and shuffles, taller bricks trade register
+pressure for fewer halo rows.
+"""
+
+from conftest import emit
+
+from repro import dsl, gpu
+from repro.bricks import BrickDims
+
+SHAPES = [
+    (32, 4, 4),  # the paper's default for A100
+    (64, 4, 4),
+    (128, 4, 4),
+    (32, 8, 4),
+    (32, 8, 8),
+]
+
+
+def sweep():
+    plat = gpu.platform("A100", "CUDA")
+    s = dsl.by_name("13pt").build()
+    out = {}
+    for dims in SHAPES:
+        r = gpu.simulate(
+            s, "bricks_codegen", plat, stencil_name="13pt", dims=BrickDims(dims)
+        )
+        out[dims] = r
+    return out
+
+
+def test_brick_size_sweep(benchmark):
+    results = benchmark(sweep)
+    lines = ["Ablation A1: brick-size sweep, 13pt on A100-CUDA"]
+    for dims, r in results.items():
+        lines.append(
+            f"  {str(dims):>14}: {r.gflops:8.1f} GF/s  "
+            f"shuffles/tile={r.cost.shuffles:4d}  regs={r.cost.registers:3d}  "
+            f"halo loads/pt={r.cost.loads_halo / r.cost.tile_points:.4f}"
+        )
+    emit("Ablation: brick size", "\n".join(lines))
+
+    default = results[(32, 4, 4)]
+    longer = results[(128, 4, 4)]
+    # Longer bricks amortise the per-row halo loads.
+    assert (
+        longer.cost.loads_halo / longer.cost.tile_points
+        < default.cost.loads_halo / default.cost.tile_points
+    )
+    # All shapes stay within 2x of the default (no pathological shape).
+    for r in results.values():
+        assert r.gflops > default.gflops / 2
+
+    # Taller bricks raise register pressure (more live accumulators).
+    taller = results[(32, 8, 8)]
+    assert taller.cost.registers > default.cost.registers

@@ -1,0 +1,68 @@
+"""Ablation: brick storage ordering (lex vs Morton) under a finite cache.
+
+BrickLib autotunes brick ordering (paper Section 3): because adjacency
+is explicit, bricks can be laid out in any memory order.  This bench
+replays the brick-granular access stream of a stencil sweep — each
+brick touches itself and its 26 neighbours — through the LRU cache
+simulator under both orderings and reports the fetched bytes.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.bricks import BrickDims, BrickGrid
+from repro.gpu import CacheSim
+
+DOMAIN = (64, 32, 32)  # dim order
+DIMS = BrickDims((16, 4, 4))
+#: Bytes of one brick (16*4*4 doubles).
+BRICK_BYTES = DIMS.volume * 8
+
+
+def brick_trace(ordering: str) -> np.ndarray:
+    """Brick-id access stream of one sweep in processing order.
+
+    Bricks are processed in *storage* order (the GPU scheduler walks
+    blocks in launch order = storage id order); each computes over its
+    3^3 neighbourhood via adjacency.
+    """
+    grid = BrickGrid(DOMAIN, DIMS, ordering)
+    from repro.bricks import BrickInfo
+
+    info = BrickInfo(grid)
+    interior = info.interior_ids()
+    order = np.argsort(interior)  # process in storage-id order
+    return info.adjacency[interior[order]].reshape(-1)
+
+
+def sweep():
+    out = {}
+    for ordering in ("lex", "morton"):
+        trace = brick_trace(ordering)
+        # Cache sized well below the brick working set of a full plane.
+        cache = CacheSim(capacity_bytes=256 * BRICK_BYTES,
+                         line_bytes=BRICK_BYTES, associativity=16)
+        cache.access_array(trace)
+        out[ordering] = cache.stats
+    return out
+
+
+def test_brick_ordering(benchmark):
+    stats = benchmark(sweep)
+    total_bricks = BrickGrid(DOMAIN, DIMS).num_bricks
+    lines = ["Ablation: brick storage ordering under a finite LLC"]
+    for ordering, st in stats.items():
+        lines.append(
+            f"  {ordering:>7}: {st.misses} brick fetches "
+            f"({st.misses / total_bricks:.2f}x compulsory), "
+            f"hit rate {100 * st.hit_rate:.1f}%"
+        )
+    emit("Ablation: brick ordering", "\n".join(lines))
+
+    # Both orderings are far better than no reuse at all (27 fetches per
+    # brick), and each brick is fetched at least once.
+    for st in stats.values():
+        assert st.misses >= total_bricks * 0.5
+        assert st.misses < st.accesses / 3
+    # The two orderings genuinely differ in locality under this cache.
+    assert stats["lex"].misses != stats["morton"].misses

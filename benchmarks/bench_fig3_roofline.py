@@ -1,0 +1,48 @@
+"""Regenerates Figure 3: Roofline plots per architecture x model.
+
+Workload: mixbench-style empirical ceilings per platform + the (AI,
+GFLOP/s) series of all 18 kernels per panel.  Shape assertions encode
+the paper's Section 5.1 narrative.
+"""
+
+from conftest import emit
+
+from repro import harness
+
+
+def test_fig3(benchmark, study):
+    panels = benchmark(harness.fig3, study)
+    emit(
+        "Figure 3 (Roofline panels)",
+        "\n\n".join(p.render() for p in panels),
+    )
+    by_name = {p.platform: p for p in panels}
+
+    # Every kernel sits on or below its platform's roof.
+    for panel in panels:
+        for pts in panel.series.values():
+            for _, ai, gf in pts:
+                assert gf * 1e9 <= panel.roofline.attainable(ai) * 1.02
+
+    # Bricks codegen attains higher AI than array codegen everywhere
+    # (same FLOPs, less data moved).
+    for panel in panels:
+        arr = dict((s, ai) for s, ai, _ in panel.series["array_codegen"])
+        bricks = dict((s, ai) for s, ai, _ in panel.series["bricks_codegen"])
+        assert all(bricks[s] > arr[s] for s in arr)
+
+    # A100: codegen improves on the plain array for every stencil; the
+    # SYCL gap is an order of magnitude (13x-26x), the CUDA gap small.
+    for model, lo, hi in (("A100-CUDA", 1.05, 3.0), ("A100-SYCL", 8.0, 40.0)):
+        panel = by_name[model]
+        naive = dict((s, gf) for s, _, gf in panel.series["array"])
+        bricks = dict((s, gf) for s, _, gf in panel.series["bricks_codegen"])
+        gaps = [bricks[s] / naive[s] for s in naive]
+        assert all(g > 1.0 for g in gaps)
+        assert lo < max(gaps) < hi, (model, max(gaps))
+
+    # AI ordering across stencils follows theoretical AI (radius up).
+    for panel in panels:
+        ais = [ai for _, ai, _ in panel.series["bricks_codegen"]]
+        star_ais = ais[:4]  # 7, 13, 19, 25pt
+        assert star_ais == sorted(star_ais)

@@ -1,0 +1,41 @@
+"""Regenerates Figure 4: L1 data movement per platform and variant.
+
+Workload: the L1 sector-traffic model over the full matrix.  The paper's
+claims: the plain array implementation moves 10x or more L1 bytes than
+the codegen variants, and bricks codegen has the least variability
+across stencils, models and architectures.
+"""
+
+import statistics
+
+from conftest import emit
+
+from repro import harness
+
+
+def test_fig4(benchmark, study):
+    data = benchmark(harness.fig4, study)
+    emit("Figure 4 (L1 data movement, GB)", harness.render_fig4(study))
+
+    # array >= 10x codegen for the biggest stencils on coalescing
+    # platforms (CUDA/HIP).
+    for pname in ("A100-CUDA", "MI250X-HIP"):
+        naive = dict(data[pname]["array"])
+        codegen = dict(data[pname]["bricks_codegen"])
+        assert naive["125pt"] / codegen["125pt"] >= 10.0
+        # And strictly more for every stencil.
+        assert all(naive[s] > codegen[s] for s in naive)
+
+    # bricks codegen has the lowest variability across stencils of any
+    # variant, on every platform (paper: "less variability on L1 data
+    # movement across all stencil shapes").
+    for pname, variants in data.items():
+        spreads = {
+            v: statistics.pstdev([gb for _, gb in pts]) / statistics.mean(
+                [gb for _, gb in pts]
+            )
+            for v, pts in variants.items()
+        }
+        assert spreads["bricks_codegen"] <= spreads["array"] + 1e-9, (
+            pname, spreads,
+        )

@@ -1,0 +1,38 @@
+"""Regenerates Figure 5: CUDA vs SYCL correlation on the NVIDIA A100.
+
+Workload: all 18 A100 kernels under both models, paired into the
+performance (left) and bytes-accessed (right) correlation plots.
+"""
+
+from conftest import emit
+
+from repro import harness
+from repro.dsl import compulsory_bytes
+
+LOWER_BOUND_GB = compulsory_bytes((512, 512, 512)) / 1e9  # 2.147 GB
+
+
+def test_fig5(benchmark, study):
+    perf, traffic = benchmark(harness.fig5, study)
+    emit(
+        "Figure 5 (A100: CUDA vs SYCL)",
+        harness.render_correlation(perf) + "\n\n" + harness.render_correlation(traffic),
+    )
+
+    # Left panel: most stencils perform better with CUDA (above diagonal).
+    assert len(perf.above_diagonal()) >= 0.8 * len(perf.points)
+
+    # Bricks codegen sits closest to the diagonal: fine-grained blocking
+    # + codegen reduces the gap between programming models.
+    assert perf.diagonal_distance("bricks_codegen") < perf.diagonal_distance("array")
+
+    # Right panel: array codegen moves close to 4 GB on both models;
+    # bricks is significantly closer to the 2.15 GB lower bound, and
+    # CUDA moves less data than SYCL.
+    for p in traffic.points:
+        assert p.x >= LOWER_BOUND_GB * 0.999 and p.y >= LOWER_BOUND_GB * 0.999
+        if p.variant == "array_codegen":
+            assert 3.5 <= p.y <= 4.6  # CUDA
+        if p.variant == "bricks_codegen":
+            assert p.y <= 1.25 * LOWER_BOUND_GB  # CUDA near minimum
+            assert p.y < p.x  # CUDA moves less than SYCL

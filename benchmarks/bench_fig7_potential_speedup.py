@@ -1,0 +1,41 @@
+"""Regenerates Figure 7: the potential speed-up plane for bricks codegen.
+
+Workload: fraction-of-theoretical-AI (x) and fraction-of-Roofline (y)
+for all 30 bricks-codegen kernels.  Paper narrative: bricks codegen
+attains over 50% of both metrics for most configurations; NVIDIA and
+Intel sit at high AI fraction (little data-movement headroom, up to
+2-4x execution headroom); AMD sits near 50/50 with 2-4x total headroom.
+"""
+
+from collections import defaultdict
+
+from conftest import emit
+
+from repro import harness
+from repro.metrics import summarize
+
+
+def test_fig7(benchmark, study):
+    pts = benchmark(harness.fig7, study)
+    emit("Figure 7 (potential speed-up plane)", harness.render_fig7(study))
+
+    by_arch = defaultdict(list)
+    for p in pts:
+        arch = p.label.split("@")[1].split("-")[0]
+        by_arch[arch].append(p)
+
+    # NVIDIA and Intel: high AI fraction (close to minimal data).
+    for arch in ("A100", "PVC"):
+        star_pts = [p for p in by_arch[arch] if "125pt" not in p.label]
+        assert all(p.ai_fraction > 0.70 for p in star_pts), arch
+
+    # AMD: both fractions nearer the middle; potential speed-up mostly
+    # in the 2x-4x band.
+    amd = by_arch["MI250X"]
+    mid = [p for p in amd if 2.0 <= p.potential_speedup <= 5.0]
+    assert len(mid) >= len(amd) * 0.7
+
+    # Overall: the bulk of configurations retain <= ~4x potential.
+    s = summarize(pts)
+    assert s["bands"][">4x"] <= len(pts) * 0.35
+    assert s["best"].potential_speedup < 1.6

@@ -1,0 +1,55 @@
+"""Real wall-clock benchmarks of the library's executable kernel paths.
+
+Unlike the table/figure benches (which time the *simulation* pipeline),
+these time the actual NumPy execution of the generated vector programs —
+the interpreter running gather/scatter code over a 128^3 field — plus
+the brick conversion machinery.  Useful for tracking regressions in the
+library itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro import dsl, gpu, kernels
+from repro.bricks import BrickDims, BrickedField
+from repro.reference import apply_interior, random_field
+
+PLAT = gpu.platform("A100", "CUDA")
+DOMAIN = (128, 128, 128)
+CASE = dsl.by_name("13pt")
+STENCIL = CASE.build()
+BINDINGS = CASE.default_bindings()
+R = STENCIL.radius
+DENSE = random_field(tuple(n + 2 * R for n in reversed(DOMAIN)), seed=42)
+
+
+@pytest.mark.parametrize("variant", kernels.VARIANTS)
+def test_kernel_execution(benchmark, variant):
+    out = benchmark(
+        kernels.run,
+        variant,
+        STENCIL,
+        PLAT,
+        domain=DOMAIN,
+        bindings=BINDINGS,
+        input_dense=DENSE,
+    )
+    expected = apply_interior(STENCIL, DENSE, BINDINGS)
+    np.testing.assert_allclose(out.output, expected, rtol=1e-12, atol=1e-12)
+
+
+def test_reference_numpy(benchmark):
+    out = benchmark(apply_interior, STENCIL, DENSE, BINDINGS)
+    assert out.shape == tuple(reversed(DOMAIN))
+
+
+def test_brick_conversion_roundtrip(benchmark):
+    dims = BrickDims((32, 4, 4))
+    ghosted = random_field((136, 136, 192), seed=7)
+
+    def roundtrip():
+        f = BrickedField.from_dense(ghosted, dims)
+        return f.to_dense(include_ghosts=True)
+
+    out = benchmark(roundtrip)
+    assert np.array_equal(out, ghosted)

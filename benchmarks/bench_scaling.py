@@ -1,0 +1,55 @@
+"""Weak-scaling study across the three systems (extension).
+
+The paper's testbeds are one rank per GPU/GCD/stack over Slingshot 11
+(Section 4.1, including the per-NIC bandwidths).  This bench regenerates
+the classic weak-scaling table — fixed 512^3 per rank, growing rank
+grids — for the 13pt stencil on all three systems.
+"""
+
+from conftest import emit
+
+from repro import comm, dsl, gpu
+
+RANKS = (1, 8, 64, 512)
+
+
+def sweep():
+    s = dsl.by_name("13pt").build()
+    out = {}
+    for arch, model in (("A100", "CUDA"), ("MI250X", "HIP"), ("PVC", "SYCL")):
+        plat = gpu.platform(arch, model)
+        out[plat.name] = comm.weak_scaling(
+            s, plat, (512, 512, 512), rank_counts=RANKS
+        )
+    return out
+
+
+def test_weak_scaling(benchmark):
+    curves = benchmark(sweep)
+    lines = ["Weak scaling, 13pt, 512^3 per rank (bricks codegen + Slingshot 11)"]
+    for pname, curve in curves.items():
+        cells = "  ".join(
+            f"{n:>3}r {100 * d['efficiency']:5.1f}%" for n, d in curve.items()
+        )
+        lines.append(f"  {pname:>12}: {cells}")
+        lines.append(
+            f"  {'':>12}  kernel {curve[1]['kernel_s'] * 1e3:6.2f} ms/step, "
+            f"exchange {curve[RANKS[-1]]['exchange_s'] * 1e3:6.2f} ms/step at scale"
+        )
+    emit("Weak scaling", "\n".join(lines))
+
+    for pname, curve in curves.items():
+        effs = [d["efficiency"] for d in curve.values()]
+        assert effs[0] == 1.0
+        # Non-increasing with rank count; no collapse at 512^3-per-rank
+        # surface-to-volume ratios.
+        assert all(a >= b - 1e-12 for a, b in zip(effs, effs[1:]))
+        assert effs[-1] > 0.35
+
+    # Crusher's GCD-attached NICs give it the best efficiency at scale
+    # relative to its kernel time... at least better than Perlmutter's
+    # per-GPU share (the paper's Section 4.1 comparison).
+    assert (
+        curves["MI250X-HIP"][512]["efficiency"]
+        > curves["A100-CUDA"][512]["efficiency"]
+    )

@@ -1,0 +1,26 @@
+"""Regenerates Table 4: theoretical arithmetic intensity per stencil.
+
+Workload: the closed-form FLOP/compulsory-byte model over the catalog.
+Values must match the paper exactly (they are analytic).
+"""
+
+import pytest
+from conftest import emit
+
+from repro import harness
+
+PAPER = {
+    "7pt": 0.5,
+    "13pt": 0.9375,
+    "19pt": 1.375,
+    "25pt": 1.8125,
+    "27pt": 1.875,
+    "125pt": 8.375,
+}
+
+
+def test_table4(benchmark):
+    rows = benchmark(harness.table4)
+    emit("Table 4 (theoretical AI)", harness.render_table4())
+    for r in rows:
+        assert r["theoretical_ai"] == pytest.approx(PAPER[r["name"]]), r

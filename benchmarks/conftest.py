@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark suite.
+
+Every ``bench_*`` module regenerates one table or figure of the paper;
+the full study sweep is computed once per session and shared.
+"""
+
+import pytest
+
+from repro import harness
+
+
+@pytest.fixture(scope="session")
+def study():
+    """The paper's full evaluation matrix on the 512^3 domain."""
+    return harness.run_study()
+
+
+def emit(title: str, body: str) -> None:
+    """Print a regenerated artifact under a banner (visible with -s / tee)."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

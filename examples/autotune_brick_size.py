@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Autotuning brick dimensions per architecture.
+
+BrickLib's performance portability rests partly on autotuning "brick
+dimension, layout, and ordering" (paper Section 3).  This example
+searches a space of brick shapes and vector lengths per platform for
+each stencil and reports the best configuration against the paper's
+default 4 x 4 x SIMD_width.
+"""
+
+from repro import dsl, gpu
+from repro.bricks import BrickDims
+
+#: Candidate (bi, bj, bk) shapes; bi must be a SIMD-width multiple or
+#: the shape falls back to one vector per row.
+CANDIDATES = [
+    (16, 4, 4), (32, 4, 4), (64, 4, 4), (128, 4, 4),
+    (32, 8, 4), (64, 8, 4), (32, 8, 8), (16, 8, 8),
+]
+
+
+def tune(platform, stencil, name):
+    simd = platform.arch.simd_width
+    best = None
+    default_dims = (simd, 4, 4)
+    default_gf = None
+    for dims in CANDIDATES:
+        if dims[0] % simd and simd % dims[0]:
+            continue
+        if min(dims) < stencil.radius:
+            continue  # adjacency cannot cover the halo
+        res = gpu.simulate(
+            stencil, "bricks_codegen", platform, stencil_name=name,
+            dims=BrickDims(dims),
+        )
+        if dims == default_dims:
+            default_gf = res.gflops
+        if best is None or res.gflops > best[1].gflops:
+            best = (dims, res)
+    return best, default_gf
+
+
+def main():
+    for plat in gpu.study_platforms():
+        print(f"{plat.name} (SIMD width {plat.arch.simd_width}):")
+        for case in dsl.TABLE2:
+            stencil = case.build()
+            (dims, res), default_gf = tune(plat, stencil, case.name)
+            gain = res.gflops / default_gf if default_gf else float("nan")
+            marker = "" if gain <= 1.001 else f"  (+{100 * (gain - 1):.0f}% vs default)"
+            print(
+                f"  {case.name:>6}: best brick {str(dims):>14} "
+                f"-> {res.gflops:8.1f} GF/s{marker}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

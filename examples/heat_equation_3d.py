@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""3D heat equation via Jacobi iteration on the brick layout.
+
+The classic workload that motivates the 7-point stencil (the paper's
+introduction): u_t = alpha * laplacian(u).  We time-step explicitly with
+the radius-1 star stencil expressed as an *update* stencil
+
+    u_new = u + dt * alpha / h^2 * (sum of 6 neighbours - 6 u)
+
+running entirely through bricks + vector codegen, and verify:
+
+* agreement with the naive NumPy solver at every step;
+* exponential decay of a Fourier mode at the analytically exact rate
+  for the discrete operator.
+"""
+
+import math
+
+import numpy as np
+
+from repro import dsl, gpu, kernels
+from repro.reference import apply_interior
+
+
+def heat_update_stencil():
+    """u + nu * (neighbour sum - 6u) as a single 7-point stencil."""
+    i, j, k = dsl.Index(0), dsl.Index(1), dsl.Index(2)
+    u, out = dsl.Grid("u", 3), dsl.Grid("u_new", 3)
+    c, n = dsl.ConstRef("center"), dsl.ConstRef("neighbor")
+    calc = c * u(i, j, k) + n * (
+        u(i + 1, j, k) + u(i - 1, j, k)
+        + u(i, j + 1, k) + u(i, j - 1, k)
+        + u(i, j, k + 1) + u(i, j, k - 1)
+    )
+    return out(i, j, k).assign(calc)
+
+
+def main():
+    n = 32  # interior points per dimension
+    alpha, h = 1.0, 1.0 / (n + 1)
+    dt = 0.125 * h * h / alpha  # inside the 3D explicit limit nu <= 1/6
+    nu = alpha * dt / (h * h)
+    bindings = {"center": 1.0 - 6.0 * nu, "neighbor": nu}
+    stencil = heat_update_stencil()
+
+    plat = gpu.platform("A100", "CUDA")
+    # PVC-sized bricks (16x4x4) fit the 32^3 domain.
+    from repro.bricks import BrickDims
+
+    dims = BrickDims((16, 4, 4))
+
+    # Initial condition: the (1,1,1) Fourier sine mode, zero Dirichlet
+    # boundary (the halo stays zero).
+    x = np.arange(1, n + 1) * h
+    mode = np.sin(math.pi * x)
+    u = np.zeros((n + 2, n + 2, n + 2))
+    u[1:-1, 1:-1, 1:-1] = (
+        mode[:, None, None] * mode[None, :, None] * mode[None, None, :]
+    )
+
+    # Discrete decay factor per step of the (1,1,1) mode.
+    lam = 1.0 - 4.0 * nu * 3.0 * math.sin(math.pi * h / 2) ** 2
+
+    steps = 50
+    u_brick = u.copy()
+    u_ref = u.copy()
+    for step in range(steps):
+        run = kernels.run(
+            "bricks_codegen", stencil, plat, domain=(n, n, n),
+            bindings=bindings, input_dense=u_brick, dims=dims,
+        )
+        u_brick[1:-1, 1:-1, 1:-1] = run.output
+        u_ref[1:-1, 1:-1, 1:-1] = apply_interior(stencil, u_ref, bindings)
+        err = np.abs(u_brick - u_ref).max()
+        assert err < 1e-11, f"brick kernel diverged from reference at {step}"
+
+    peak = u_brick[1:-1, 1:-1, 1:-1].max()
+    peak0 = u[1:-1, 1:-1, 1:-1].max()  # grid peak of the initial mode
+    expect = peak0 * lam**steps
+    rel = abs(peak - expect) / expect
+    print(f"heat equation, {n}^3 interior, {steps} Jacobi steps")
+    print(f"  peak amplitude: {peak:.6f}")
+    print(f"  analytic decay: {expect:.6f}  (rel. err {rel:.2e})")
+    assert rel < 1e-6
+    print("  brick pipeline matches the naive solver at every step ✓")
+
+
+if __name__ == "__main__":
+    main()

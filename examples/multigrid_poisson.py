@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Geometric multigrid Poisson solver built on the stencil library.
+
+Multigrid is the workload class behind several of the paper's cited
+optimisation studies (DiMEPACK, cache-efficient multigrid).  This
+example solves -laplacian(u) = f on a periodic 3D grid with a V-cycle
+whose smoother, residual, restriction and prolongation are all library
+stencils, with the smoother running through bricks + vector codegen.
+
+Convergence check: the residual norm drops by a healthy factor per
+V-cycle (textbook multigrid efficiency).
+"""
+
+import numpy as np
+
+from repro import dsl, gpu, kernels
+from repro.bricks import BrickDims
+from repro.reference import apply_periodic
+
+
+def laplacian(h):
+    """-laplacian, 7-point, grid spacing h."""
+    w = 1.0 / (h * h)
+    return dsl.from_weights({
+        (0, 0, 0): 6.0 * w,
+        (1, 0, 0): -w, (-1, 0, 0): -w,
+        (0, 1, 0): -w, (0, -1, 0): -w,
+        (0, 0, 1): -w, (0, 0, -1): -w,
+    })
+
+
+def jacobi_smooth(u, f, h, omega=6.0 / 7.0, sweeps=2, plat=None, dims=None):
+    """Weighted-Jacobi smoothing; the stencil part runs through bricks."""
+    w = 1.0 / (h * h)
+    neighbor_sum = dsl.from_weights({
+        (1, 0, 0): 1.0, (-1, 0, 0): 1.0,
+        (0, 1, 0): 1.0, (0, -1, 0): 1.0,
+        (0, 0, 1): 1.0, (0, 0, -1): 1.0,
+    })
+    n = u.shape[0]
+    for _ in range(sweeps):
+        if plat is not None and n >= 16:
+            padded = np.pad(u, 1, mode="wrap")
+            run = kernels.run(
+                "bricks_codegen", neighbor_sum, plat,
+                domain=tuple(reversed(u.shape)), bindings={},
+                input_dense=padded, dims=dims,
+            )
+            nb = run.output
+        else:
+            nb = apply_periodic(neighbor_sum, u)
+        u_jac = (f / w + nb) / 6.0
+        u = (1 - omega) * u + omega * u_jac
+    return u
+
+
+def restrict(fine):
+    """Full-weighting restriction to the half grid (periodic)."""
+    c = fine[::2, ::2, ::2].copy()
+    for axis in range(3):
+        up = np.roll(fine, 1, axis=axis)[::2, ::2, ::2]
+        dn = np.roll(fine, -1, axis=axis)[::2, ::2, ::2]
+        c = c + 0.25 * (up + dn - 2 * fine[::2, ::2, ::2])
+    return c
+
+
+def prolong(coarse):
+    """Trilinear prolongation to the doubled grid (periodic)."""
+    n = coarse.shape[0] * 2
+    fine = np.zeros((n, n, n))
+    fine[::2, ::2, ::2] = coarse
+    for axis in range(3):
+        shifted = np.roll(fine, -2, axis=axis)
+        idx = [slice(None)] * 3
+        idx[axis] = slice(1, None, 2)
+        src = [slice(None)] * 3
+        src[axis] = slice(0, None, 2)
+        fine[tuple(idx)] = 0.5 * (fine[tuple(src)] + shifted[tuple(src)])
+    return fine
+
+
+def v_cycle(u, f, h, plat, level=0, max_level=3):
+    A = laplacian(h)
+    dims = BrickDims((16, 4, 4))
+    if level == max_level or u.shape[0] <= 4:
+        # Coarsest level: smooth to a near-exact solve (cheap at 4^3).
+        return jacobi_smooth(u, f, h, sweeps=50)
+    u = jacobi_smooth(u, f, h, plat=plat, dims=dims)
+    r = f - apply_periodic(A, u)
+    rc = restrict(r)
+    ec = np.zeros_like(rc)
+    ec = v_cycle(ec, rc, 2 * h, plat, level + 1, max_level)
+    u = u + prolong(ec)
+    u = jacobi_smooth(u, f, h, plat=plat, dims=dims)
+    return u
+
+
+def main():
+    n = 32
+    h = 1.0 / n
+    plat = gpu.platform("PVC", "SYCL")  # 16-wide bricks fit n=32
+
+    # A zero-mean random RHS (periodic Poisson needs compatibility).
+    rng = np.random.default_rng(0)
+    f = rng.standard_normal((n, n, n))
+    f -= f.mean()
+    u = np.zeros_like(f)
+    A = laplacian(h)
+
+    r0 = np.linalg.norm(f - apply_periodic(A, u))
+    norms = [r0]
+    for cycle in range(6):
+        u = v_cycle(u, f, h, plat)
+        u -= u.mean()  # fix the periodic null space
+        r = np.linalg.norm(f - apply_periodic(A, u))
+        norms.append(r)
+        print(f"V-cycle {cycle + 1}: residual {r:.3e} "
+              f"(reduction {norms[-2] / r:6.2f}x)")
+
+    total = norms[0] / norms[-1]
+    print(f"\ntotal residual reduction over 6 V-cycles: {total:.1e}x")
+    assert total > 1e3, "multigrid failed to converge"
+    print("multigrid convergence ✓ (smoother ran through bricks codegen)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""The paper's complete evaluation, end to end.
+
+Runs the full 6 x 5 x 3 simulation matrix at 512^3 and regenerates every
+table and figure of the paper's Section 5, writing a CSV of all raw
+results next to this script.
+"""
+
+import os
+
+from repro import harness
+
+
+def main():
+    print("running the full study (6 stencils x 5 platforms x 3 variants)...")
+    study = harness.run_study()
+    print(f"done: {len(study)} simulated kernel sweeps\n")
+
+    print(harness.render_table2(), "\n")
+    print(harness.render_table4(), "\n")
+    print(harness.table3(study).render(), "\n")
+    print(harness.table5(study).render(), "\n")
+
+    for panel in harness.fig3(study):
+        print(panel.render(), "\n")
+
+    print(harness.render_fig4(study), "\n")
+
+    perf5, bytes5 = harness.fig5(study)
+    print(harness.render_correlation(perf5), "\n")
+    print(harness.render_correlation(bytes5), "\n")
+    perf6, bytes6 = harness.fig6(study)
+    print(harness.render_correlation(perf6), "\n")
+    print(harness.render_correlation(bytes6), "\n")
+
+    print(harness.render_fig7(study), "\n")
+
+    out = os.path.join(os.path.dirname(__file__), "study_results.csv")
+    harness.write_csv(study, out)
+    print(f"raw results written to {out}")
+
+
+if __name__ == "__main__":
+    main()

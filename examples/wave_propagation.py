@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Acoustic wave propagation with a high-order (radius-4, 25-point) stencil.
+
+The workload class the paper's high-order stencils proxy: seismic /
+acoustic modelling (compare the RTM citations in Section 2).  We march
+the second-order wave equation u_tt = c^2 laplacian(u) with a leapfrog
+scheme whose Laplacian is the 8th-order 25-point star stencil, executed
+through bricks + vector codegen, and verify:
+
+* the brick pipeline matches the naive solver step-for-step;
+* a standing sine mode oscillates at the dispersion-exact discrete
+  frequency.
+"""
+
+import math
+
+import numpy as np
+
+from repro import dsl, gpu, kernels
+from repro.bricks import BrickDims
+from repro.reference import apply_interior
+
+#: 8th-order central-difference weights for the 1D second derivative.
+W8 = {
+    0: -205.0 / 72.0,
+    1: 8.0 / 5.0,
+    2: -1.0 / 5.0,
+    3: 8.0 / 315.0,
+    4: -1.0 / 560.0,
+}
+
+
+def laplacian_stencil_8th():
+    """25-point star: the 8th-order Laplacian (before the 1/h^2 scale)."""
+    weights = {}
+    for d in range(3):
+        for dist, w in W8.items():
+            if dist == 0:
+                continue
+            for sign in (-1, 1):
+                off = [0, 0, 0]
+                off[d] = sign * dist
+                weights[tuple(off)] = w
+    weights[(0, 0, 0)] = 3.0 * W8[0]
+    return dsl.from_weights(weights)
+
+
+def discrete_omega(p: int, n: int, h: float, c: float) -> float:
+    """Exact oscillation frequency of mode p under the discrete operator."""
+    # Symbol of the 8th-order second-derivative stencil at wavenumber k.
+    kh = math.pi * p / (n + 1)
+    sym = W8[0] + 2 * sum(W8[d] * math.cos(d * kh) for d in range(1, 5))
+    lam = -3.0 * c * c * sym / (h * h)  # 3 dims, same mode each way
+    return math.sqrt(lam)
+
+
+def main():
+    n, c = 32, 1.0
+    h = 1.0 / (n + 1)
+    dt = 0.2 * h / c  # CFL-safe for the 8th-order operator
+    stencil = laplacian_stencil_8th()
+    assert stencil.points == 25 and stencil.radius == 4
+
+    plat = gpu.platform("A100", "CUDA")
+    dims = BrickDims((16, 4, 4))
+    coeff = (c * dt / h) ** 2
+
+    x = np.arange(1, n + 1) * h
+    mode = np.sin(math.pi * x)
+    shape3 = mode[:, None, None] * mode[None, :, None] * mode[None, None, :]
+
+    pad = 4
+    u_prev = np.zeros((n + 2 * pad,) * 3)
+    u_prev[pad:-pad, pad:-pad, pad:-pad] = shape3
+    # Leapfrog start: u(dt) = u(0) * cos(omega * dt) for a standing mode.
+    omega = discrete_omega(1, n, h, c)
+    u_curr = u_prev.copy()
+    u_curr[pad:-pad, pad:-pad, pad:-pad] *= math.cos(omega * dt)
+
+    ref_prev, ref_curr = u_prev.copy(), u_curr.copy()
+    steps = 40
+    for _ in range(steps):
+        run = kernels.run(
+            "bricks_codegen", stencil, plat, domain=(n, n, n),
+            bindings={}, input_dense=u_curr, dims=dims,
+        )
+        interior = (slice(pad, -pad),) * 3
+        u_next = np.zeros_like(u_curr)
+        u_next[interior] = (
+            2.0 * u_curr[interior] - u_prev[interior] + coeff * run.output
+        )
+        u_prev, u_curr = u_curr, u_next
+
+        lap = apply_interior(stencil, ref_curr, {})
+        ref_next = np.zeros_like(ref_curr)
+        ref_next[interior] = (
+            2.0 * ref_curr[interior] - ref_prev[interior] + coeff * lap
+        )
+        ref_prev, ref_curr = ref_curr, ref_next
+        assert np.abs(u_curr - ref_curr).max() < 1e-10
+
+    # Standing mode: u(t) = shape * cos(omega_dt * t) where omega_dt is
+    # the leapfrog-discrete frequency sin(omega_dt*dt/2) = omega*dt/2.
+    omega_dt = 2.0 / dt * math.asin(omega * dt / 2.0)
+    t = (steps + 1) * dt
+    expect = math.cos(omega_dt * t)
+    idx = n // 2 - 1 + pad
+    measured = u_curr[idx, idx, idx] / shape3[n // 2 - 1, n // 2 - 1, n // 2 - 1]
+    print(f"8th-order wave equation, {n}^3, {steps} leapfrog steps")
+    print(f"  measured amplitude: {measured:+.6f}")
+    print(f"  dispersion-exact:   {expect:+.6f}")
+    # The zero halo is not exactly the sine mode's odd extension for a
+    # radius-4 operator, so the mode is an eigenfunction only up to a
+    # small boundary term.
+    assert abs(measured - expect) < 1e-4
+    print("  brick pipeline matches the naive solver at every step ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Calibration harness: model output vs. the paper's published numbers.
+
+Run after touching any profile parameter.  Prints Table 3 (fraction of
+Roofline), Table 5 (fraction of theoretical AI) and the headline codegen
+speed-up ratios, side by side with the paper's values.
+"""
+
+from __future__ import annotations
+
+from repro import dsl, gpu
+
+STENCILS = ("7pt", "13pt", "19pt", "25pt", "27pt", "125pt")
+
+PAPER_TABLE3 = {
+    # stencil: (A100 CUDA, A100 SYCL, MI250X HIP, MI250X SYCL, PVC SYCL)
+    "7pt": (95, 84, 66, 68, 77),
+    "13pt": (92, 79, 66, 67, 67),
+    "19pt": (85, 87, 65, 66, 53),
+    "25pt": (69, 79, 66, 64, 47),
+    "27pt": (82, 60, 66, 67, 61),
+    "125pt": (47, 39, 42, 63, 23),
+}
+
+PAPER_TABLE5 = {
+    "7pt": (92, 49, 62, 59, 93),
+    "13pt": (92, 88, 66, 48, 92),
+    "19pt": (91, 87, 60, 43, 91),
+    "25pt": (88, 81, 56, 41, 91),
+    "27pt": (93, 59, 67, 59, 92),
+    "125pt": (92, 89, 64, 38, 92),
+}
+
+
+def roofline_fraction(res: gpu.SimulationResult) -> float:
+    plat = res.platform
+    bw = plat.arch.hbm_bw * plat.profile.mixbench_bw_frac
+    pk = plat.arch.peak_fp64 * plat.profile.mixbench_fp_frac
+    ceiling = min(pk, res.arithmetic_intensity * bw)
+    return res.gflops * 1e9 / ceiling
+
+
+def theoretical_ai_fraction(res: gpu.SimulationResult, stencil) -> float:
+    return res.arithmetic_intensity / dsl.theoretical_ai(stencil)
+
+
+def main() -> None:
+    plats = gpu.study_platforms()
+    results = {}
+    for name in STENCILS:
+        s = dsl.by_name(name).build()
+        for plat in plats:
+            for variant in gpu.VARIANTS:
+                results[(name, plat.name, variant)] = gpu.simulate(
+                    s, variant, plat, stencil_name=name
+                )
+
+    print("=== Table 3: fraction of Roofline, bricks codegen (model/paper) ===")
+    cols = [p.name for p in plats]
+    print(f"{'':>7}" + "".join(f"{c:>18}" for c in cols))
+    for name in STENCILS:
+        s = dsl.by_name(name).build()
+        row = []
+        for p, paper in zip(plats, PAPER_TABLE3[name]):
+            frac = roofline_fraction(results[(name, p.name, "bricks_codegen")])
+            row.append(f"{100*frac:5.0f}/{paper:<3d}")
+        print(f"{name:>7}" + "".join(f"{c:>18}" for c in row))
+
+    print("\n=== Table 5: fraction of theoretical AI, bricks codegen (model/paper) ===")
+    for name in STENCILS:
+        s = dsl.by_name(name).build()
+        row = []
+        for p, paper in zip(plats, PAPER_TABLE5[name]):
+            frac = theoretical_ai_fraction(results[(name, p.name, "bricks_codegen")], s)
+            row.append(f"{100*frac:5.0f}/{paper:<3d}")
+        print(f"{name:>7}" + "".join(f"{c:>18}" for c in row))
+
+    print("\n=== Codegen-isolation speed-ups (array time vs array_codegen time) ===")
+    for p in plats:
+        star_gain = max(
+            results[(n, p.name, "array")].time_s
+            / results[(n, p.name, "array_codegen")].time_s
+            for n in ("7pt", "13pt", "19pt", "25pt")
+        )
+        cube_gain = max(
+            results[(n, p.name, "array")].time_s
+            / results[(n, p.name, "array_codegen")].time_s
+            for n in ("27pt", "125pt")
+        )
+        print(f"  {p.name:>12}: star {star_gain:5.1f}x  cube {cube_gain:5.1f}x")
+
+    print("\n=== Headline codegen speed-ups (bricks_codegen time vs array time) ===")
+    targets = {
+        "A100-CUDA": "1.3x star / 2x cube",
+        "A100-SYCL": "13x star / 26x cube",
+        "MI250X-HIP": "1.3x star / 3x cube",
+        "MI250X-SYCL": "3x star / 9x cube",
+        "PVC-SYCL": "3x star / 5x cube",
+    }
+    for p in plats:
+        star_gain = max(
+            results[(n, p.name, "array")].time_s
+            / results[(n, p.name, "bricks_codegen")].time_s
+            for n in ("7pt", "13pt", "19pt", "25pt")
+        )
+        cube_gain = max(
+            results[(n, p.name, "array")].time_s
+            / results[(n, p.name, "bricks_codegen")].time_s
+            for n in ("27pt", "125pt")
+        )
+        print(
+            f"  {p.name:>12}: star {star_gain:5.1f}x  cube {cube_gain:5.1f}x"
+            f"   (paper: {targets[p.name]})"
+        )
+
+    print("\n=== Bytes moved, A100 (Figure 5 right; minimum 2.15 GB) ===")
+    for variant in gpu.VARIANTS:
+        cu = results[("13pt", "A100-CUDA", variant)].hbm_gbytes
+        sy = results[("13pt", "A100-SYCL", variant)].hbm_gbytes
+        print(f"  {variant:>15}: CUDA {cu:5.2f} GB   SYCL {sy:5.2f} GB")
+    print("\n=== Bytes moved, MI250X (Figure 6 right) ===")
+    for variant in gpu.VARIANTS:
+        hip = results[("13pt", "MI250X-HIP", variant)].hbm_gbytes
+        sy = results[("13pt", "MI250X-SYCL", variant)].hbm_gbytes
+        print(f"  {variant:>15}: HIP  {hip:5.2f} GB   SYCL {sy:5.2f} GB")
+
+    # Aggregate Pennycook-style harmonic means over the 5 platforms.
+    def pennycook(vals):
+        return len(vals) / sum(1.0 / v for v in vals)
+
+    p3 = []
+    p5 = []
+    for name in STENCILS:
+        s = dsl.by_name(name).build()
+        f3 = [roofline_fraction(results[(name, p.name, "bricks_codegen")]) for p in plats]
+        f5 = [
+            theoretical_ai_fraction(results[(name, p.name, "bricks_codegen")], s)
+            for p in plats
+        ]
+        p3.append(pennycook(f3))
+        p5.append(pennycook(f5))
+    overall3 = pennycook(p3)
+    overall5 = pennycook(p5)
+    print(f"\nOverall P (Table 3): {100*overall3:.0f}%  (paper: 61%)")
+    print(f"Overall P (Table 5): {100*overall5:.0f}%  (paper: 68%)")
+
+
+if __name__ == "__main__":
+    main()

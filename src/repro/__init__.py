@@ -1,0 +1,45 @@
+"""repro — reproduction of *Performance Portability Evaluation of Blocked
+Stencil Computations on GPUs* (Antepara et al., SC-W 2023).
+
+The package reimplements the BrickLib stack the paper evaluates — a python
+stencil DSL, the brick fine-grained data layout, and the vector code
+generator — plus the substrate the paper's testbeds provided: machine
+models of the NVIDIA A100, AMD MI250X (one GCD) and Intel PVC (one stack)
+GPUs, CUDA/HIP/SYCL programming-model descriptors, a deterministic
+memory-traffic and timing simulator, Roofline analysis, and the
+performance-portability metrics and correlation/potential-speed-up tools
+the paper introduces.
+
+Quick start::
+
+    from repro import dsl, kernels, gpu
+
+    stencil = dsl.star(2)                      # 13-point star
+    platform = gpu.platform("A100", "CUDA")
+    result = kernels.run("bricks_codegen", stencil, domain=(64, 64, 64),
+                         platform=platform)
+    print(result.profile.arithmetic_intensity())
+"""
+
+__version__ = "1.0.0"
+
+from repro import dsl  # noqa: F401  (re-exported subpackage)
+from repro.errors import (  # noqa: F401
+    CodegenError,
+    DSLError,
+    LayoutError,
+    MetricError,
+    ReproError,
+    SimulationError,
+)
+
+__all__ = [
+    "CodegenError",
+    "DSLError",
+    "LayoutError",
+    "MetricError",
+    "ReproError",
+    "SimulationError",
+    "dsl",
+    "__version__",
+]

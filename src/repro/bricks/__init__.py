@@ -1,0 +1,34 @@
+"""Brick fine-grained data layout (paper Section 3).
+
+Bricks are small contiguous blocks (``4 x 4 x SIMD_width`` doubles in the
+paper) tied together by explicit adjacency instead of ghost zones::
+
+    from repro.bricks import BrickDims, BrickGrid, BrickInfo, BrickedField
+
+    dims = BrickDims.for_architecture("A100")       # 32 x 4 x 4
+    field = BrickedField.from_dense(ghosted_dense, dims)
+    blocks = field.gather_neighborhoods(field.info.interior_ids(), radius=2)
+"""
+
+from repro.bricks.brick_info import (
+    NO_NEIGHBOR,
+    BrickInfo,
+    neighbor_deltas,
+    neighbor_index,
+)
+from repro.bricks.bricked_array import BrickedField
+from repro.bricks.decomposition import ORDERINGS, BrickGrid
+from repro.bricks.layout import SIMD_WIDTH, BrickDims, VectorFold
+
+__all__ = [
+    "BrickDims",
+    "BrickGrid",
+    "BrickInfo",
+    "BrickedField",
+    "NO_NEIGHBOR",
+    "ORDERINGS",
+    "SIMD_WIDTH",
+    "VectorFold",
+    "neighbor_deltas",
+    "neighbor_index",
+]

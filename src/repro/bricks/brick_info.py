@@ -1,0 +1,89 @@
+"""Brick adjacency (BrickLib's ``BrickInfo``).
+
+Each brick records the storage ids of its ``3**ndim`` neighbours
+(including itself at the centre).  Stencil kernels use this table to
+reach halo data in neighbouring bricks instead of ghost zones — the
+defining flexibility of the brick layout: bricks may be stored in any
+order because logical adjacency is explicit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.bricks.decomposition import BrickGrid
+from repro.errors import LayoutError
+
+#: Sentinel for "no neighbour" (only ever on the outward faces of ghosts).
+NO_NEIGHBOR = -1
+
+
+def neighbor_index(delta: Tuple[int, ...]) -> int:
+    """Flatten a neighbour delta in {-1,0,1}^ndim to a table column.
+
+    Dimension 0 varies fastest, matching brick-local storage order.
+    """
+    idx = 0
+    for d in reversed(delta):
+        if d not in (-1, 0, 1):
+            raise LayoutError(f"neighbour delta components must be in -1..1, got {delta}")
+        idx = idx * 3 + (d + 1)
+    return idx
+
+
+def neighbor_deltas(ndim: int) -> Tuple[Tuple[int, ...], ...]:
+    """All neighbour deltas in table-column order."""
+    deltas = [
+        tuple(reversed(rev))
+        for rev in itertools.product((-1, 0, 1), repeat=ndim)
+    ]
+    return tuple(deltas)
+
+
+@dataclass(frozen=True)
+class BrickInfo:
+    """Adjacency table for every brick of a :class:`BrickGrid`.
+
+    ``adjacency[b, n]`` is the storage id of brick ``b``'s neighbour in
+    direction ``n`` (see :func:`neighbor_index`), or :data:`NO_NEIGHBOR`
+    when the neighbour would fall outside the ghosted grid.
+    """
+
+    grid: BrickGrid
+    adjacency: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "adjacency", self._build())
+
+    def _build(self) -> np.ndarray:
+        g = self.grid
+        ids = g.id_grid()  # [k, j, i] -> id
+        ncols = 3**g.ndim
+        adj = np.full((g.num_bricks, ncols), NO_NEIGHBOR, dtype=np.int64)
+        # Pad the id grid with NO_NEIGHBOR so shifted views handle edges.
+        padded = np.pad(ids, 1, constant_values=NO_NEIGHBOR)
+        flat_ids = ids.reshape(-1)
+        order = np.argsort(flat_ids)  # position in grid for each id
+        for col, delta in enumerate(neighbor_deltas(g.ndim)):
+            # delta is in dim order; numpy axes are reversed.
+            shifts = tuple(reversed(delta))
+            sl = tuple(slice(1 + s, 1 + s + n) for s, n in zip(shifts, ids.shape))
+            neigh = padded[sl].reshape(-1)
+            adj[flat_ids[order], col] = neigh[order]
+        adj.setflags(write=False)
+        return adj
+
+    def neighbor(self, brick_id: int, delta: Tuple[int, ...]) -> int:
+        """Storage id of the neighbour of ``brick_id`` in direction ``delta``."""
+        return int(self.adjacency[brick_id, neighbor_index(delta)])
+
+    def interior_ids(self) -> np.ndarray:
+        """Storage ids of all interior bricks, in iteration order."""
+        return np.array(
+            [self.grid.brick_id(c) for c in self.grid.interior_coords()],
+            dtype=np.int64,
+        )

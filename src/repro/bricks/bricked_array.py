@@ -1,0 +1,162 @@
+"""Brick storage and dense <-> brick conversion.
+
+A :class:`BrickedField` owns the flat brick storage (one contiguous
+``(num_bricks, *brick_shape)`` float64 array — each brick is a single
+contiguous block, the layout property the paper's traffic analysis rests
+on) together with the grid geometry and adjacency needed to use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.bricks.brick_info import BrickInfo, neighbor_deltas, neighbor_index
+from repro.bricks.decomposition import BrickGrid
+from repro.bricks.layout import BrickDims
+from repro.errors import LayoutError
+from repro.util import dims_to_shape
+
+Coords = Tuple[int, ...]
+
+
+@dataclass
+class BrickedField:
+    """A scalar field stored in brick layout.
+
+    Construct empty via :meth:`allocate` or from a ghosted dense array via
+    :meth:`from_dense`.  Dense arrays are ``[k, j, i]``-indexed and must
+    include a halo exactly one brick wide on every face (the ghost-brick
+    layer).
+    """
+
+    grid: BrickGrid
+    info: BrickInfo
+    data: np.ndarray  # (num_bricks, *brick_shape) float64
+
+    # ---- construction ----------------------------------------------------
+    @staticmethod
+    def allocate(grid: BrickGrid, info: BrickInfo | None = None) -> "BrickedField":
+        info = info if info is not None else BrickInfo(grid)
+        shape = (grid.num_bricks,) + grid.dims.shape
+        return BrickedField(grid, info, np.zeros(shape, dtype=np.float64))
+
+    @staticmethod
+    def from_dense(
+        dense: np.ndarray,
+        dims: BrickDims,
+        ordering: str = "lex",
+        info: BrickInfo | None = None,
+    ) -> "BrickedField":
+        """Brick a ghosted dense field (halo = one brick per face)."""
+        if dense.ndim != dims.ndim:
+            raise LayoutError(
+                f"dense field has {dense.ndim} dims but bricks have {dims.ndim}"
+            )
+        brick_shape = dims.shape  # numpy order
+        extents = []
+        for n, b in zip(dense.shape, brick_shape):
+            if n % b != 0 or n // b < 3:
+                raise LayoutError(
+                    f"ghosted dense extent {n} must be a multiple of brick "
+                    f"extent {b} with at least 3 bricks (interior + 2 ghosts)"
+                )
+            extents.append(n - 2 * b)
+        grid = BrickGrid(tuple(reversed(extents)), dims, ordering)
+        if info is None:
+            info = BrickInfo(grid)
+        f = BrickedField.allocate(grid, info)
+        f.load_dense(dense)
+        return f
+
+    # ---- dense conversion --------------------------------------------------
+    def _ghosted_dense_shape(self) -> Tuple[int, ...]:
+        return tuple(
+            g * b
+            for g, b in zip(
+                dims_to_shape(self.grid.grid_per_dim), self.grid.dims.shape
+            )
+        )
+
+    def load_dense(self, dense: np.ndarray) -> None:
+        """Fill all bricks (ghosts included) from a ghosted dense field."""
+        expected = self._ghosted_dense_shape()
+        if dense.shape != expected:
+            raise LayoutError(
+                f"ghosted dense shape {dense.shape} != expected {expected}"
+            )
+        gk, gj, gi = dims_to_shape(self.grid.grid_per_dim)
+        bk, bj, bi = self.grid.dims.shape
+        blocks = dense.reshape(gk, bk, gj, bj, gi, bi).transpose(0, 2, 4, 1, 3, 5)
+        self.data[self.grid.id_grid()] = blocks
+
+    def to_dense(self, include_ghosts: bool = False) -> np.ndarray:
+        """Reassemble the dense field from brick storage."""
+        gk, gj, gi = dims_to_shape(self.grid.grid_per_dim)
+        bk, bj, bi = self.grid.dims.shape
+        blocks = self.data[self.grid.id_grid()]  # [gk,gj,gi,bk,bj,bi]
+        dense = blocks.transpose(0, 3, 1, 4, 2, 5).reshape(
+            gk * bk, gj * bj, gi * bi
+        )
+        if include_ghosts:
+            return dense
+        sl = tuple(slice(b, -b) for b in (bk, bj, bi))
+        return dense[sl]
+
+    # ---- element access ------------------------------------------------------
+    def get(self, point: Coords) -> float:
+        """Value at a global interior point (dim order; negatives reach ghosts)."""
+        brick, local = self.grid.point_to_brick(point)
+        bid = self.grid.brick_id(brick)
+        return float(self.data[(bid,) + dims_to_shape(local)])
+
+    def set(self, point: Coords, value: float) -> None:
+        brick, local = self.grid.point_to_brick(point)
+        bid = self.grid.brick_id(brick)
+        self.data[(bid,) + dims_to_shape(local)] = value
+
+    # ---- neighbourhood gather (the brick kernels' working set) -------------
+    def gather_neighborhoods(self, brick_ids: np.ndarray, radius: int) -> np.ndarray:
+        """Assemble halo-padded blocks for ``brick_ids`` via adjacency.
+
+        Returns an array of shape ``(len(brick_ids), bk+2r, bj+2r, bi+2r)``
+        where the centre of each block is the brick itself and the halo is
+        filled from the ``3**ndim - 1`` adjacent bricks — exactly the data
+        a brick stencil kernel touches.
+        """
+        self.grid.dims.check_radius(radius)
+        r = radius
+        bk, bj, bi = self.grid.dims.shape
+        out = np.empty(
+            (len(brick_ids), bk + 2 * r, bj + 2 * r, bi + 2 * r),
+            dtype=np.float64,
+        )
+        for delta in neighbor_deltas(self.grid.ndim):
+            col = neighbor_index(delta)
+            nb = self.info.adjacency[brick_ids, col]
+            if np.any(nb < 0):
+                raise LayoutError(
+                    "gather_neighborhoods requires interior bricks (a "
+                    "neighbour was missing)"
+                )
+            dst, src = [], []
+            # delta is dim order; build numpy-order slices (reverse).
+            for d, b in zip(reversed(delta), (bk, bj, bi)):
+                if d == -1:
+                    dst.append(slice(0, r))
+                    src.append(slice(b - r, b))
+                elif d == 0:
+                    dst.append(slice(r, r + b))
+                    src.append(slice(0, b))
+                else:
+                    dst.append(slice(r + b, r + b + r))
+                    src.append(slice(0, r))
+            out[(slice(None),) + tuple(dst)] = self.data[
+                (nb,) + tuple(src)
+            ]
+        return out
+
+    def copy(self) -> "BrickedField":
+        return BrickedField(self.grid, self.info, self.data.copy())

@@ -1,0 +1,150 @@
+"""Decomposition of a rectangular domain into a grid of bricks.
+
+The interior domain (whose extents must be multiples of the brick
+extents) is surrounded by one layer of *ghost bricks* on every face —
+bricks that hold boundary data so interior stencils of radius up to the
+brick extent never index out of bounds.  This replaces the per-subdomain
+ghost zones of coarse-grained tiling (paper Section 3: bricks have no
+per-block ghost zones; adjacency provides neighbour access).
+
+Storage order of bricks in memory is configurable ("lex" or "morton"),
+mirroring BrickLib's autotuned brick orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.bricks.layout import BrickDims
+from repro.errors import LayoutError
+from repro.util import dims_to_shape, prod
+
+Coords = Tuple[int, ...]
+
+ORDERINGS = ("lex", "morton")
+
+
+def _morton_key(coords: Coords) -> int:
+    """Interleave the bits of ``coords`` (Z-order curve key)."""
+    key = 0
+    nbits = max(c.bit_length() for c in coords) if any(coords) else 1
+    for bit in range(nbits):
+        for d, c in enumerate(coords):
+            key |= ((c >> bit) & 1) << (bit * len(coords) + d)
+    return key
+
+
+@dataclass(frozen=True)
+class BrickGrid:
+    """Geometry of a bricked domain: interior + one ghost-brick layer.
+
+    Attributes
+    ----------
+    extents:
+        Interior grid points per dimension (dim 0 = contiguous ``i`` first).
+    dims:
+        Brick extents.
+    ordering:
+        Storage order of bricks: ``"lex"`` (dimension 0 fastest) or
+        ``"morton"`` (Z-order).
+    """
+
+    extents: Tuple[int, ...]
+    dims: BrickDims
+    ordering: str = "lex"
+    _ids: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.extents) != self.dims.ndim:
+            raise LayoutError(
+                f"domain has {len(self.extents)} dims but brick has {self.dims.ndim}"
+            )
+        for e, d in zip(self.extents, self.dims.dims):
+            if e < d or e % d != 0:
+                raise LayoutError(
+                    f"interior extent {e} is not a positive multiple of brick extent {d}"
+                )
+        if self.ordering not in ORDERINGS:
+            raise LayoutError(
+                f"unknown brick ordering '{self.ordering}'; known: {ORDERINGS}"
+            )
+        object.__setattr__(self, "_ids", self._assign_ids())
+
+    # ---- geometry -------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.extents)
+
+    @property
+    def interior_bricks_per_dim(self) -> Tuple[int, ...]:
+        return tuple(e // d for e, d in zip(self.extents, self.dims.dims))
+
+    @property
+    def grid_per_dim(self) -> Tuple[int, ...]:
+        """Brick-grid extents including the ghost layer (interior + 2)."""
+        return tuple(n + 2 for n in self.interior_bricks_per_dim)
+
+    @property
+    def num_bricks(self) -> int:
+        return prod(self.grid_per_dim)
+
+    @property
+    def num_interior_bricks(self) -> int:
+        return prod(self.interior_bricks_per_dim)
+
+    def is_ghost(self, coords: Coords) -> bool:
+        """Whether brick-grid ``coords`` (dim order, ghost-inclusive) is a ghost."""
+        return any(
+            c == 0 or c == g - 1 for c, g in zip(coords, self.grid_per_dim)
+        )
+
+    # ---- id assignment ---------------------------------------------------
+    def _assign_ids(self) -> np.ndarray:
+        grid_shape = dims_to_shape(self.grid_per_dim)  # numpy order (k,j,i)
+        ids = np.empty(grid_shape, dtype=np.int64)
+        coords = list(np.ndindex(grid_shape))  # numpy order tuples
+        if self.ordering == "morton":
+            coords.sort(key=_morton_key)
+        for bid, c in enumerate(coords):
+            ids[c] = bid
+        ids.setflags(write=False)
+        return ids
+
+    def brick_id(self, coords: Coords) -> int:
+        """Brick storage id for brick-grid ``coords`` (dim order, with ghosts)."""
+        for c, g in zip(coords, self.grid_per_dim):
+            if not 0 <= c < g:
+                raise LayoutError(f"brick coords {coords} outside grid {self.grid_per_dim}")
+        return int(self._ids[dims_to_shape(coords)])
+
+    def id_grid(self) -> np.ndarray:
+        """Read-only ``[k, j, i]`` array mapping brick-grid coords to ids.
+
+        This is the ``grid`` adjacency-list array the paper's kernels index
+        as ``grid[tk][tj][ti]``.
+        """
+        return self._ids
+
+    # ---- iteration -------------------------------------------------------
+    def interior_coords(self) -> Iterator[Coords]:
+        """All interior brick coords (dim order), deterministic order."""
+        for zyx in np.ndindex(dims_to_shape(self.interior_bricks_per_dim)):
+            yield tuple(reversed(tuple(int(c) + 1 for c in zyx)))
+
+    def point_to_brick(self, point: Coords) -> Tuple[Coords, Coords]:
+        """Map a global interior point (dim order) to (brick coords, local coords).
+
+        Global point ``0`` is the first *interior* point; ghost bricks sit
+        at negative global coordinates.
+        """
+        brick = []
+        local = []
+        for p, d, e in zip(point, self.dims.dims, self.extents):
+            if not -d <= p < e + d:
+                raise LayoutError(f"point {point} outside the ghosted domain")
+            brick.append(p // d + 1)
+            local.append(p % d)
+        return tuple(brick), tuple(local)

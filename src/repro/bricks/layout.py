@@ -1,0 +1,118 @@
+"""Brick dimensions and vector folds.
+
+A *brick* is a small N-D block of grid points stored contiguously (paper
+Section 3): for this study ``4 x 4 x SIMD_width`` doubles, where the
+SIMD width is architecture specific — 32 on NVIDIA A100, 64 on AMD
+MI250X, 16 on Intel PVC (paper Section 4.4).  The contiguous dimension
+is DSL dimension 0 (``i``).
+
+A *vector fold* (Yount's vector folding) describes how the brick's
+elements are grouped into hardware vectors for the code generator: the
+fold extents must divide the brick extents and their product is the
+vector length (one SIMT warp / wave / sub-group).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import LayoutError
+from repro.util import dims_to_shape, prod
+
+#: Paper Section 4.4: SIMD_width per architecture (brick's contiguous extent
+#: and the generated code's vector length).
+SIMD_WIDTH = {"A100": 32, "MI250X": 64, "PVC": 16}
+
+
+@dataclass(frozen=True)
+class BrickDims:
+    """Per-dimension brick extents, dimension 0 (contiguous ``i``) first."""
+
+    dims: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise LayoutError("BrickDims requires at least one dimension")
+        if any(d < 1 for d in self.dims):
+            raise LayoutError(f"brick extents must be >= 1, got {self.dims}")
+
+    @staticmethod
+    def for_architecture(arch_name: str, ndim: int = 3) -> "BrickDims":
+        """The paper's ``4 x 4 x SIMD_width`` brick for a named GPU."""
+        if arch_name not in SIMD_WIDTH:
+            raise LayoutError(
+                f"unknown architecture '{arch_name}'; known: {sorted(SIMD_WIDTH)}"
+            )
+        if ndim < 1:
+            raise LayoutError(f"ndim must be >= 1, got {ndim}")
+        return BrickDims((SIMD_WIDTH[arch_name],) + (4,) * (ndim - 1))
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    @property
+    def volume(self) -> int:
+        """Grid points per brick."""
+        return prod(self.dims)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """NumPy shape of one brick's storage block (slowest dim first)."""
+        return dims_to_shape(self.dims)
+
+    def check_radius(self, radius: int) -> None:
+        """Verify one ghost-brick layer suffices for ``radius``.
+
+        Brick adjacency reaches only the 3^N neighbouring bricks, so the
+        stencil radius may not exceed any brick extent.
+        """
+        if radius > min(self.dims):
+            raise LayoutError(
+                f"stencil radius {radius} exceeds the smallest brick extent "
+                f"{min(self.dims)}; neighbour bricks cannot cover the halo"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "BrickDims(" + "x".join(str(d) for d in self.dims) + ")"
+
+
+@dataclass(frozen=True)
+class VectorFold:
+    """How a brick is folded into hardware vectors (dimension 0 first).
+
+    ``fold`` extents must divide the brick extents element-wise; their
+    product is the vector length the code generator targets (the warp,
+    wave, or sub-group size).
+    """
+
+    fold: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.fold:
+            raise LayoutError("VectorFold requires at least one dimension")
+        if any(f < 1 for f in self.fold):
+            raise LayoutError(f"fold extents must be >= 1, got {self.fold}")
+
+    @property
+    def vector_length(self) -> int:
+        return prod(self.fold)
+
+    def validate_against(self, dims: BrickDims) -> None:
+        if len(self.fold) != dims.ndim:
+            raise LayoutError(
+                f"fold has {len(self.fold)} dims but brick has {dims.ndim}"
+            )
+        for f, d in zip(self.fold, dims.dims):
+            if d % f != 0:
+                raise LayoutError(
+                    f"fold extent {f} does not divide brick extent {d}"
+                )
+
+    @staticmethod
+    def contiguous(vector_length: int, ndim: int = 3) -> "VectorFold":
+        """A 1-D fold along the contiguous dimension (the paper's default)."""
+        if vector_length < 1:
+            raise LayoutError(f"vector length must be >= 1, got {vector_length}")
+        return VectorFold((vector_length,) + (1,) * (ndim - 1))

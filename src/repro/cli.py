@@ -1,0 +1,179 @@
+"""Command-line interface: regenerate the paper's artifacts from a shell.
+
+Installed as the ``repro-stencil`` console script::
+
+    repro-stencil study --csv results.csv
+    repro-stencil table 3
+    repro-stencil figure 5 --ascii
+    repro-stencil simulate --stencil 13pt --arch A100 --model CUDA
+    repro-stencil emit --stencil 13pt --model SYCL --layout brick
+    repro-stencil tune --stencil 27pt --arch PVC --model SYCL
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import harness
+from repro.bricks.layout import BrickDims
+from repro.codegen import CodegenOptions, generate
+from repro.codegen.emitters import CPU_ISAS, MODELS, emit as emit_source
+from repro.dsl.shapes import by_name, catalog
+from repro.gpu.progmodel import PROFILES, VARIANTS, platform
+from repro.profiling import profile as collect_profile
+from repro.tuning import Autotuner
+
+
+def _study(args) -> int:
+    study = harness.run_study()
+    print(harness.summary(study))
+    if args.csv:
+        harness.write_csv(study, args.csv)
+        print(f"\nCSV written to {args.csv}")
+    if args.json:
+        harness.dump_study(study, args.json)
+        print(f"study saved to {args.json}")
+    return 0
+
+
+def _table(args) -> int:
+    if args.number == 2:
+        print(harness.render_table2())
+        return 0
+    if args.number == 4:
+        print(harness.render_table4())
+        return 0
+    study = harness.run_study()
+    table = harness.table3(study) if args.number == 3 else harness.table5(study)
+    print(table.render())
+    return 0
+
+
+def _figure(args) -> int:
+    study = harness.run_study()
+    n = args.number
+    if n == 3:
+        for panel in harness.fig3(study):
+            print(harness.roofline_ascii(panel) if args.ascii else panel.render())
+            print()
+    elif n == 4:
+        print(harness.render_fig4(study))
+    elif n in (5, 6):
+        perf, traffic = (harness.fig5 if n == 5 else harness.fig6)(study)
+        for model in (perf, traffic):
+            print(
+                harness.correlation_ascii(model)
+                if args.ascii
+                else harness.render_correlation(model)
+            )
+            print()
+    else:
+        print(harness.render_fig7(study))
+    return 0
+
+
+def _simulate(args) -> int:
+    from repro.gpu.simulator import simulate
+
+    case = by_name(args.stencil)
+    plat = platform(args.arch, args.model)
+    res = simulate(
+        case.build(),
+        args.variant,
+        plat,
+        domain=tuple(args.domain),
+        stencil_name=case.name,
+    )
+    print(collect_profile(res).row())
+    t = res.timing
+    print(
+        f"  breakdown: hbm {t.t_hbm * 1e3:.3f} ms, l1 {t.t_l1 * 1e3:.3f} ms, "
+        f"fp64 {t.t_fp * 1e3:.3f} ms, shuffle {t.t_shuffle * 1e3:.3f} ms, "
+        f"issue {t.t_issue * 1e3:.3f} ms -> {t.bottleneck}-bound"
+    )
+    return 0
+
+
+def _emit(args) -> int:
+    case = by_name(args.stencil)
+    vl = args.vector_length
+    dims = BrickDims((args.bi or vl, 4, 4))
+    program = generate(case.build(), dims, CodegenOptions(vl, args.strategy))
+    print(emit_source(program, args.model, layout=args.layout))
+    return 0
+
+
+def _tune(args) -> int:
+    case = by_name(args.stencil)
+    plat = platform(args.arch, args.model)
+    outcome = Autotuner().tune(case.build(), plat, stencil_name=case.name)
+    print(f"best configuration for {case.name} on {plat.name}:")
+    print(f"  {outcome.best.label()}  ({outcome.best_result.gflops:.1f} GF/s)")
+    print("top 5:")
+    for point, t in outcome.ranking[:5]:
+        print(f"  {point.label():>28}: {t * 1e3:8.3f} ms")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-stencil",
+        description="Blocked-stencil performance-portability reproduction "
+        "(Antepara et al., SC-W 2023)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("study", help="run the full evaluation sweep")
+    p.add_argument("--csv", help="write raw results to this CSV file")
+    p.add_argument("--json", help="save the study to this JSON file")
+    p.set_defaults(func=_study)
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("number", type=int, choices=(2, 3, 4, 5))
+    p.set_defaults(func=_table)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("number", type=int, choices=(3, 4, 5, 6, 7))
+    p.add_argument("--ascii", action="store_true", help="text-mode plot")
+    p.set_defaults(func=_figure)
+
+    archs = sorted({a for a, _ in PROFILES})
+    models = sorted({m for _, m in PROFILES})
+
+    p = sub.add_parser("simulate", help="profile one kernel sweep")
+    p.add_argument("--stencil", required=True, choices=sorted(catalog()))
+    p.add_argument("--arch", required=True, choices=archs)
+    p.add_argument("--model", required=True, choices=models)
+    p.add_argument("--variant", default="bricks_codegen", choices=VARIANTS)
+    p.add_argument("--domain", type=int, nargs=3, default=(512, 512, 512),
+                   metavar=("NI", "NJ", "NK"))
+    p.set_defaults(func=_simulate)
+
+    p = sub.add_parser("emit", help="emit generated kernel source")
+    p.add_argument("--stencil", required=True, choices=sorted(catalog()))
+    p.add_argument("--model", required=True, choices=MODELS + CPU_ISAS)
+    p.add_argument("--layout", default="brick", choices=("array", "brick"))
+    p.add_argument("--strategy", default="auto",
+                   choices=("naive", "gather", "scatter", "auto"))
+    p.add_argument("--vector-length", type=int, default=32)
+    p.add_argument("--bi", type=int, help="brick i-extent (default: vl)")
+    p.set_defaults(func=_emit)
+
+    p = sub.add_parser("tune", help="autotune brick shape for a platform")
+    p.add_argument("--stencil", required=True, choices=sorted(catalog()))
+    p.add_argument("--arch", required=True, choices=archs)
+    p.add_argument("--model", required=True, choices=models)
+    p.set_defaults(func=_tune)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""BrickLib-style vector code generation.
+
+Pipeline: a canonical :class:`~repro.dsl.stencil.Stencil` plus tile
+dimensions and a vector length go in; a :class:`VectorProgram` comes out,
+which can be *executed* on NumPy (:func:`execute`), *costed*
+(:func:`cost_of`), or *emitted* as CUDA/HIP/SYCL source
+(:mod:`repro.codegen.emitters`).
+"""
+
+from repro.codegen.cost import ProgramCost, cost_of
+from repro.codegen.generator import STRATEGIES, CodegenOptions, generate
+from repro.codegen.interpreter import execute
+from repro.codegen.vector_ir import (
+    Init,
+    Load,
+    Mac,
+    Op,
+    Shift,
+    Store,
+    VectorProgram,
+)
+
+__all__ = [
+    "CodegenOptions",
+    "Init",
+    "Load",
+    "Mac",
+    "Op",
+    "ProgramCost",
+    "STRATEGIES",
+    "Shift",
+    "Store",
+    "VectorProgram",
+    "cost_of",
+    "execute",
+    "generate",
+]

@@ -1,0 +1,55 @@
+"""Per-programming-model source emitters (CUDA / HIP / SYCL).
+
+Each emitter turns a :class:`~repro.codegen.vector_ir.VectorProgram`
+into representative kernel source with that model's shuffle intrinsics
+and launch idioms (paper Figure 2)::
+
+    from repro.codegen.emitters import emit
+
+    src = emit(program, model="SYCL", layout="brick")
+"""
+
+from repro.codegen.emitters import avx2, avx512, cuda, hip, sve, sycl
+from repro.codegen.emitters.base import LAYOUTS, ModelSyntax, emit_kernel, lower_statements
+from repro.codegen.emitters.simd import SimdSyntax, emit_simd_kernel, lower_simd
+from repro.codegen.vector_ir import VectorProgram
+from repro.errors import CodegenError
+
+_EMITTERS = {"CUDA": cuda.emit, "HIP": hip.emit, "SYCL": sycl.emit}
+
+#: GPU programming models of the study.
+MODELS = tuple(sorted(_EMITTERS))
+
+#: CPU SIMD back ends (paper Section 3: AVX2, AVX512, SVE).
+_CPU_EMITTERS = {"AVX512": avx512.emit, "AVX2": avx2.emit, "SVE": sve.emit}
+CPU_ISAS = tuple(sorted(_CPU_EMITTERS))
+
+
+def emit(
+    program: VectorProgram,
+    model: str,
+    layout: str = "brick",
+    kernel_name: str | None = None,
+) -> str:
+    """Emit kernel source for ``program`` under ``model`` (CUDA/HIP/SYCL)."""
+    if model in _EMITTERS:
+        return _EMITTERS[model](program, layout, kernel_name)
+    if model in _CPU_EMITTERS:
+        return _CPU_EMITTERS[model](program, layout, kernel_name)
+    raise CodegenError(
+        f"unknown programming model '{model}'; known: {MODELS + CPU_ISAS}"
+    )
+
+
+__all__ = [
+    "CPU_ISAS",
+    "LAYOUTS",
+    "MODELS",
+    "ModelSyntax",
+    "SimdSyntax",
+    "emit",
+    "emit_kernel",
+    "emit_simd_kernel",
+    "lower_simd",
+    "lower_statements",
+]

@@ -1,0 +1,39 @@
+"""AVX2 back end (4 doubles per vector).
+
+AVX2 has no cross-128-bit-lane align for doubles, so the two-register
+shift lowers to the classic permute2f128 + shuffle sequence, wrapped in
+the ``AVX2_ALIGN_PD`` helper emitted with the kernel.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.emitters.simd import SimdSyntax, emit_simd_kernel
+from repro.codegen.vector_ir import VectorProgram
+
+_PREAMBLE = """#include <immintrin.h>
+// Concatenate (hi:lo) and extract 4 doubles starting at lane `a`.
+#define AVX2_ALIGN_PD(lo, hi, a) \\
+    (a) == 2 ? _mm256_permute2f128_pd((lo), (hi), 0x21) \\
+             : _mm256_shuffle_pd( \\
+                   (a) == 1 ? (lo) : _mm256_permute2f128_pd((lo), (hi), 0x21), \\
+                   (a) == 1 ? _mm256_permute2f128_pd((lo), (hi), 0x21) : (hi), \\
+                   (a) == 1 ? 0x5 : 0x5)"""
+
+AVX2_SYNTAX = SimdSyntax(
+    name="AVX2",
+    lanes=4,
+    vec_type="__m256d",
+    load=lambda addr: f"_mm256_loadu_pd({addr})",
+    store=lambda addr, reg: f"_mm256_storeu_pd({addr}, {reg})",
+    zero="_mm256_setzero_pd()",
+    broadcast=lambda c: f"_mm256_set1_pd({c})",
+    fmadd=lambda a, b, c: f"_mm256_fmadd_pd({a}, {b}, {c})",
+    add=lambda a, b: f"_mm256_add_pd({a}, {b})",
+    align=lambda lo, hi, a: f"AVX2_ALIGN_PD({lo}, {hi}, {a})",
+    preamble=_PREAMBLE,
+)
+
+
+def emit(program: VectorProgram, layout: str = "brick", kernel_name: str | None = None) -> str:
+    """Emit AVX2 kernel source for ``program`` (requires vl == 4)."""
+    return emit_simd_kernel(program, AVX2_SYNTAX, layout, kernel_name)

@@ -1,0 +1,33 @@
+"""AVX-512 back end (8 doubles per vector; KNL / Skylake-SP targets).
+
+Lane shifts lower to ``valignq`` (``_mm512_alignr_epi64``), which
+concatenates two registers and extracts eight 64-bit lanes — exactly
+the IR's two-register Shift semantics.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.emitters.simd import SimdSyntax, emit_simd_kernel
+from repro.codegen.vector_ir import VectorProgram
+
+AVX512_SYNTAX = SimdSyntax(
+    name="AVX512",
+    lanes=8,
+    vec_type="__m512d",
+    load=lambda addr: f"_mm512_loadu_pd({addr})",
+    store=lambda addr, reg: f"_mm512_storeu_pd({addr}, {reg})",
+    zero="_mm512_setzero_pd()",
+    broadcast=lambda c: f"_mm512_set1_pd({c})",
+    fmadd=lambda a, b, c: f"_mm512_fmadd_pd({a}, {b}, {c})",
+    add=lambda a, b: f"_mm512_add_pd({a}, {b})",
+    align=lambda lo, hi, a: (
+        "_mm512_castsi512_pd(_mm512_alignr_epi64("
+        f"_mm512_castpd_si512({hi}), _mm512_castpd_si512({lo}), {a}))"
+    ),
+    preamble="#include <immintrin.h>",
+)
+
+
+def emit(program: VectorProgram, layout: str = "brick", kernel_name: str | None = None) -> str:
+    """Emit AVX-512 kernel source for ``program`` (requires vl == 8)."""
+    return emit_simd_kernel(program, AVX512_SYNTAX, layout, kernel_name)

@@ -1,0 +1,27 @@
+"""CUDA back end for the vector code generator.
+
+Uses the CUDA >= 9 synchronising warp shuffles
+(``__shfl_down_sync`` / ``__shfl_up_sync``), per the paper's Section 3.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.emitters.base import ModelSyntax, emit_kernel
+from repro.codegen.vector_ir import VectorProgram
+
+FULL_MASK = "0xffffffff"
+
+CUDA_SYNTAX = ModelSyntax(
+    name="CUDA",
+    kernel_qualifier="__global__",
+    lane_expr="threadIdx.x",
+    block_coord=lambda axis: f"blockIdx.{axis}",
+    shuffle_down=lambda reg, n: f"__shfl_down_sync({FULL_MASK}, {reg}, {n})",
+    shuffle_up=lambda reg, n: f"__shfl_up_sync({FULL_MASK}, {reg}, {n})",
+    preamble="#include <brick-cuda.h>",
+)
+
+
+def emit(program: VectorProgram, layout: str = "brick", kernel_name: str | None = None) -> str:
+    """Emit CUDA kernel source for ``program``."""
+    return emit_kernel(program, CUDA_SYNTAX, layout, kernel_name)

@@ -1,0 +1,25 @@
+"""HIP back end for the vector code generator.
+
+HIP (and pre-9 CUDA) spells the warp shuffles without the ``_sync``
+suffix and exposes block indices as ``hipBlockIdx_*`` (paper Figure 2).
+"""
+
+from __future__ import annotations
+
+from repro.codegen.emitters.base import ModelSyntax, emit_kernel
+from repro.codegen.vector_ir import VectorProgram
+
+HIP_SYNTAX = ModelSyntax(
+    name="HIP",
+    kernel_qualifier="__global__",
+    lane_expr="hipThreadIdx_x",
+    block_coord=lambda axis: f"hipBlockIdx_{axis}",
+    shuffle_down=lambda reg, n: f"__shfl_down({reg}, {n})",
+    shuffle_up=lambda reg, n: f"__shfl_up({reg}, {n})",
+    preamble="#include <brick-hip.h>",
+)
+
+
+def emit(program: VectorProgram, layout: str = "brick", kernel_name: str | None = None) -> str:
+    """Emit HIP kernel source for ``program``."""
+    return emit_kernel(program, HIP_SYNTAX, layout, kernel_name)

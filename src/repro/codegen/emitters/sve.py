@@ -1,0 +1,31 @@
+"""Arm SVE back end (vector-length-agnostic, instantiated at 8 doubles).
+
+SVE's ``svext`` extracts a vector from the concatenation of two
+registers — a direct match for the IR's Shift.  The emitter fixes the
+vector length at generation time (SVE-512 / A64FX-class), mirroring how
+BrickLib specialises its generated code per target.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.emitters.simd import SimdSyntax, emit_simd_kernel
+from repro.codegen.vector_ir import VectorProgram
+
+SVE_SYNTAX = SimdSyntax(
+    name="SVE",
+    lanes=8,
+    vec_type="svfloat64_t",
+    load=lambda addr: f"svld1_f64(svptrue_b64(), {addr})",
+    store=lambda addr, reg: f"svst1_f64(svptrue_b64(), {addr}, {reg})",
+    zero="svdup_f64(0.0)",
+    broadcast=lambda c: f"svdup_f64({c})",
+    fmadd=lambda a, b, c: f"svmla_f64_x(svptrue_b64(), {c}, {a}, {b})",
+    add=lambda a, b: f"svadd_f64_x(svptrue_b64(), {a}, {b})",
+    align=lambda lo, hi, a: f"svext_f64({lo}, {hi}, {a})",
+    preamble="#include <arm_sve.h>",
+)
+
+
+def emit(program: VectorProgram, layout: str = "brick", kernel_name: str | None = None) -> str:
+    """Emit SVE kernel source for ``program`` (requires vl == 8)."""
+    return emit_simd_kernel(program, SVE_SYNTAX, layout, kernel_name)

@@ -1,0 +1,295 @@
+"""The vector code generator: stencil -> :class:`VectorProgram`.
+
+Implements the paper's three domain-specific optimisations (Section 3):
+
+* **vector folding** — the tile's contiguous extent is covered by whole
+  hardware vectors (``vl`` divides the brick's ``i`` extent), so every
+  row is a small number of aligned vector loads;
+* **reuse of array common subexpressions** — the *gather* strategy keeps
+  every loaded (and shifted) row in a buffer register, shifting the
+  iteration space instead of the data, so a row read by several output
+  points is loaded exactly once;
+* **vector scatter** — the *scatter* strategy walks the halo-padded
+  input rows once, scattering each loaded row into the accumulators of
+  every output row that uses it (associative reordering via statement
+  splitting, Stock et al.), which for high-order stencils avoids the
+  temporary-buffer traffic of gathering.
+
+Unaligned neighbour access along ``i`` is realised as aligned loads plus
+lane shifts (the GPU warp-shuffle exchange) instead of the naive
+strategy's per-tap unaligned loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.bricks.layout import BrickDims
+from repro.codegen.vector_ir import (
+    Add,
+    Init,
+    Load,
+    Mac,
+    Op,
+    Shift,
+    Store,
+    VectorProgram,
+)
+from repro.dsl.stencil import Stencil
+from repro.errors import CodegenError
+
+STRATEGIES = ("naive", "gather", "scatter", "auto")
+
+
+@dataclass(frozen=True)
+class CodegenOptions:
+    """Knobs for code generation.
+
+    ``strategy='auto'`` generates both gather and scatter programs and
+    keeps the one with fewer ops — the library's profitability rule.
+    ``reuse=False`` disables the common-subexpression buffers in gather
+    mode (used by the ablation benchmarks to isolate their benefit).
+    """
+
+    vector_length: int
+    strategy: str = "auto"
+    reuse: bool = True
+
+    def __post_init__(self) -> None:
+        if self.vector_length < 2:
+            raise CodegenError(
+                f"vector length must be >= 2, got {self.vector_length}"
+            )
+        if self.strategy not in STRATEGIES:
+            raise CodegenError(
+                f"unknown strategy '{self.strategy}'; known: {STRATEGIES}"
+            )
+
+
+def generate(
+    stencil: Stencil, dims: BrickDims, options: CodegenOptions
+) -> VectorProgram:
+    """Generate a vector program computing ``stencil`` over one tile."""
+    if stencil.ndim != 3:
+        raise CodegenError("the vector code generator supports 3-D stencils")
+    if dims.ndim != 3:
+        raise CodegenError("tile dims must be 3-D")
+    bk, bj, bi = dims.shape
+    vl = options.vector_length
+    if bi % vl != 0:
+        raise CodegenError(
+            f"vector length {vl} must divide the tile's contiguous extent {bi}"
+        )
+    r = stencil.radius
+    if r >= vl:
+        raise CodegenError(f"stencil radius {r} must be smaller than vl {vl}")
+    dims.check_radius(r)
+
+    if options.strategy == "naive":
+        prog = _Builder(stencil, dims, vl).naive()
+    elif options.strategy == "gather":
+        prog = _Builder(stencil, dims, vl).gather(reuse=options.reuse)
+    elif options.strategy == "scatter":
+        prog = _Builder(stencil, dims, vl).scatter()
+    else:  # auto: profitability rule — fewest ops, then least register
+        # pressure; final tie goes to gather (grouped sums execute fewer
+        # FLOPs than scatter's per-tap FMAs).
+        g = _Builder(stencil, dims, vl).gather(reuse=options.reuse)
+        s = _Builder(stencil, dims, vl).scatter()
+        g_key = (len(g.ops), g.max_live_registers(), 0)
+        s_key = (len(s.ops), s.max_live_registers(), 1)
+        prog = g if g_key <= s_key else s
+    prog.validate()
+    return prog
+
+
+class _Builder:
+    """Shared machinery for the three generation strategies."""
+
+    def __init__(self, stencil: Stencil, dims: BrickDims, vl: int) -> None:
+        self.stencil = stencil
+        self.bk, self.bj, self.bi = dims.shape
+        self.vl = vl
+        self.nvec = self.bi // vl
+        self.r = stencil.radius
+        self.ops: List[Op] = []
+        # Sorted taps: (ok, oj, oi) order groups rows together.
+        self.taps = sorted(
+            ((off[2], off[1], off[0], coeff) for off, coeff in stencil.taps.items())
+        )
+        # Coefficient groups (symmetry shells) in deterministic order, for
+        # the grouped-sum (associative reordering) lowering.
+        groups: dict = {}
+        for ok, oj, oi, coeff in self.taps:
+            groups.setdefault(coeff.key(), (coeff, []))[1].append((ok, oj, oi))
+        self.coeff_groups = [groups[k] for k in sorted(groups)]
+        self._raw: Dict[Tuple[int, int], List[str]] = {}
+        self._halo: Dict[Tuple[int, int, str], str] = {}
+        self._shifted: Dict[Tuple[int, int, int], List[str]] = {}
+        self._uniq = 0
+
+    # ---- helpers ---------------------------------------------------------
+    def _fresh(self, base: str) -> str:
+        self._uniq += 1
+        return f"{base}.{self._uniq}"
+
+    def _program(self, strategy: str) -> VectorProgram:
+        return VectorProgram(
+            ops=self.ops,
+            tile=(self.bk, self.bj, self.bi),
+            radius=self.r,
+            vl=self.vl,
+            strategy=strategy,
+            meta={
+                "stencil": self.stencil.description(),
+                "points": self.stencil.points,
+            },
+        )
+
+    def _raw_row(self, k: int, j: int) -> List[str]:
+        """Aligned vector loads covering input row (k, j), cached."""
+        key = (k, j)
+        if key not in self._raw:
+            regs = []
+            for v in range(self.nvec):
+                reg = f"row_{k}_{j}_v{v}"
+                self.ops.append(Load(reg, k, j, v * self.vl, "aligned"))
+                regs.append(reg)
+            self._raw[key] = regs
+        return self._raw[key]
+
+    def _halo_reg(self, k: int, j: int, side: str) -> str:
+        """Partial halo vector left/right of row (k, j), cached."""
+        key = (k, j, side)
+        if key not in self._halo:
+            reg = f"halo_{side}_{k}_{j}"
+            i0 = -self.vl if side == "L" else self.bi
+            self.ops.append(Load(reg, k, j, i0, "halo"))
+            self._halo[key] = reg
+        return self._halo[key]
+
+    def _shifted_row(self, k: int, j: int, oi: int) -> List[str]:
+        """Row (k, j) shifted by ``oi`` lanes, built from aligned loads + shuffles."""
+        if oi == 0:
+            return self._raw_row(k, j)
+        key = (k, j, oi)
+        if key not in self._shifted:
+            raw = self._raw_row(k, j)
+            regs = []
+            for v in range(self.nvec):
+                reg = f"sh_{k}_{j}_{oi}_v{v}"
+                if oi > 0:
+                    lo = raw[v]
+                    hi = raw[v + 1] if v + 1 < self.nvec else self._halo_reg(k, j, "R")
+                    amount = oi
+                else:
+                    lo = raw[v - 1] if v >= 1 else self._halo_reg(k, j, "L")
+                    hi = raw[v]
+                    amount = self.vl + oi
+                self.ops.append(Shift(reg, lo, hi, amount))
+                regs.append(reg)
+            self._shifted[key] = regs
+        return self._shifted[key]
+
+    def _clear_caches(self) -> None:
+        self._raw.clear()
+        self._halo.clear()
+        self._shifted.clear()
+
+    def _accumulate_grouped(self, acc: str, regs_by_group) -> None:
+        """Sum each coefficient group, then one Mac per group.
+
+        This is BrickLib's associative reordering: ``points - groups``
+        adds plus ``groups`` FMAs per output vector instead of one FMA
+        per tap (compare the grouped expressions in paper Figure 2).
+        """
+        for coeff, regs in regs_by_group:
+            total = regs[0]
+            for reg in regs[1:]:
+                tmp = self._fresh("s")
+                self.ops.append(Add(tmp, total, reg))
+                total = tmp
+            self.ops.append(Mac(acc, total, coeff))
+
+    # ---- strategies ------------------------------------------------------
+    def naive(self) -> VectorProgram:
+        """One (possibly unaligned) load per tap per output vector.
+
+        This is what the compiler sees for the plain tiled-array kernel:
+        no cross-tap reuse, every neighbour access its own global read.
+        """
+        for k in range(self.bk):
+            for j in range(self.bj):
+                for v in range(self.nvec):
+                    acc = f"acc_{k}_{j}_{v}"
+                    self.ops.append(Init(acc))
+                    regs_by_group = []
+                    for coeff, offs in self.coeff_groups:
+                        regs = []
+                        for ok, oj, oi in offs:
+                            tmp = self._fresh("t")
+                            kind = "aligned" if oi % self.vl == 0 else "unaligned"
+                            self.ops.append(
+                                Load(tmp, k + ok, j + oj, v * self.vl + oi, kind)
+                            )
+                            regs.append(tmp)
+                        regs_by_group.append((coeff, regs))
+                    self._accumulate_grouped(acc, regs_by_group)
+                    self.ops.append(Store(acc, k, j, v))
+        return self._program("naive")
+
+    def gather(self, reuse: bool = True) -> VectorProgram:
+        """Per-output gathering with (optional) reuse buffers."""
+        for k in range(self.bk):
+            for j in range(self.bj):
+                if not reuse:
+                    self._clear_caches()
+                accs = []
+                for v in range(self.nvec):
+                    acc = f"acc_{k}_{j}_{v}"
+                    self.ops.append(Init(acc))
+                    accs.append(acc)
+                # Resolve each tap's shifted row once, then accumulate by
+                # coefficient group per vector.
+                shifted_for = {
+                    (ok, oj, oi): self._shifted_row(k + ok, j + oj, oi)
+                    for ok, oj, oi, _ in self.taps
+                }
+                for v in range(self.nvec):
+                    regs_by_group = [
+                        (coeff, [shifted_for[off][v] for off in offs])
+                        for coeff, offs in self.coeff_groups
+                    ]
+                    self._accumulate_grouped(accs[v], regs_by_group)
+                for v in range(self.nvec):
+                    self.ops.append(Store(accs[v], k, j, v))
+        return self._program("gather")
+
+    def scatter(self) -> VectorProgram:
+        """Walk input rows once; scatter each into all using accumulators."""
+        accs: Dict[Tuple[int, int, int], str] = {}
+        for k in range(self.bk):
+            for j in range(self.bj):
+                for v in range(self.nvec):
+                    acc = f"acc_{k}_{j}_{v}"
+                    self.ops.append(Init(acc))
+                    accs[(k, j, v)] = acc
+        for k in range(-self.r, self.bk + self.r):
+            for j in range(-self.r, self.bj + self.r):
+                contributing = [
+                    (ok, oj, oi, coeff)
+                    for ok, oj, oi, coeff in self.taps
+                    if 0 <= k - ok < self.bk and 0 <= j - oj < self.bj
+                ]
+                if not contributing:
+                    continue
+                for ok, oj, oi, coeff in contributing:
+                    shifted = self._shifted_row(k, j, oi)
+                    for v in range(self.nvec):
+                        self.ops.append(
+                            Mac(accs[(k - ok, j - oj, v)], shifted[v], coeff)
+                        )
+        for (k, j, v), acc in sorted(accs.items()):
+            self.ops.append(Store(acc, k, j, v))
+        return self._program("scatter")

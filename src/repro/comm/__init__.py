@@ -1,0 +1,45 @@
+"""Distributed stencil runs: decomposition, halo exchange, interconnects.
+
+The paper's testbeds run one MPI rank per GPU/GCD/stack over Slingshot
+11.  This package provides that substrate: Cartesian rank layouts,
+genuinely data-moving halo exchange (verified against single-domain
+references), alpha-beta interconnect models with the systems' published
+per-NIC bandwidths, and a weak-scaling model.
+"""
+
+from repro.comm.decomposition import RankLayout, balanced_layout
+from repro.comm.exchange import (
+    Message,
+    exchange_halos,
+    gather_global,
+    halo_bytes_per_rank,
+    scatter_global,
+)
+from repro.comm.network import (
+    INTERCONNECTS,
+    SLINGSHOT11_CRUSHER,
+    SLINGSHOT11_FLORENTIA,
+    SLINGSHOT11_PERLMUTTER,
+    Interconnect,
+    interconnect_for,
+)
+from repro.comm.runner import DistributedStencil, StepReport, weak_scaling
+
+__all__ = [
+    "DistributedStencil",
+    "INTERCONNECTS",
+    "Interconnect",
+    "Message",
+    "RankLayout",
+    "SLINGSHOT11_CRUSHER",
+    "SLINGSHOT11_FLORENTIA",
+    "SLINGSHOT11_PERLMUTTER",
+    "StepReport",
+    "balanced_layout",
+    "exchange_halos",
+    "gather_global",
+    "halo_bytes_per_rank",
+    "interconnect_for",
+    "scatter_global",
+    "weak_scaling",
+]

@@ -1,0 +1,123 @@
+"""Multi-rank domain decomposition.
+
+The paper's testbeds run one MPI rank per GPU/GCD/stack (Section 4.1);
+BrickLib's coefficients are literally named ``MPI_B*`` in the DSL
+because the library is built for distributed stencil runs.  This module
+provides the Cartesian rank decomposition those runs use: the global
+domain is split into per-rank subdomains (each a whole number of bricks
+or tiles), with neighbour relationships for halo exchange.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import LayoutError
+from repro.util import prod
+
+Coords = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class RankLayout:
+    """A Cartesian process grid over a 3-D global domain.
+
+    ``global_extents`` and ``ranks_per_dim`` are in dimension order
+    (``i`` first); each rank owns an equal block of
+    ``global_extents[d] / ranks_per_dim[d]`` points per dimension.
+    Boundaries are periodic (the common weak-scaling setup), so every
+    rank has a full set of 26 neighbours.
+    """
+
+    global_extents: Tuple[int, int, int]
+    ranks_per_dim: Tuple[int, int, int]
+
+    def __post_init__(self) -> None:
+        for g, r in zip(self.global_extents, self.ranks_per_dim):
+            if r < 1:
+                raise LayoutError(f"ranks per dim must be >= 1, got {r}")
+            if g % r != 0:
+                raise LayoutError(
+                    f"global extent {g} not divisible by {r} ranks"
+                )
+
+    @property
+    def num_ranks(self) -> int:
+        return prod(self.ranks_per_dim)
+
+    @property
+    def local_extents(self) -> Tuple[int, int, int]:
+        return tuple(
+            g // r for g, r in zip(self.global_extents, self.ranks_per_dim)
+        )
+
+    def rank_of(self, coords: Coords) -> int:
+        """Rank id of process-grid ``coords`` (dim order, periodic)."""
+        wrapped = [c % r for c, r in zip(coords, self.ranks_per_dim)]
+        rank = 0
+        for c, r in zip(reversed(wrapped), reversed(self.ranks_per_dim)):
+            rank = rank * r + c
+        return rank
+
+    def coords_of(self, rank: int) -> Coords:
+        """Inverse of :meth:`rank_of` (dimension 0 is least significant)."""
+        if not 0 <= rank < self.num_ranks:
+            raise LayoutError(f"rank {rank} outside 0..{self.num_ranks - 1}")
+        coords = []
+        for r in self.ranks_per_dim:
+            coords.append(rank % r)
+            rank //= r
+        return tuple(coords)
+
+    def origin_of(self, rank: int) -> Coords:
+        """Global coordinates of the rank's first owned point."""
+        return tuple(
+            c * n for c, n in zip(self.coords_of(rank), self.local_extents)
+        )
+
+    def neighbors(self, rank: int) -> Dict[Coords, int]:
+        """All 26 neighbour ranks keyed by direction delta (dim order)."""
+        me = self.coords_of(rank)
+        out = {}
+        for delta in itertools.product((-1, 0, 1), repeat=3):
+            if delta == (0, 0, 0):
+                continue
+            out[delta] = self.rank_of(tuple(m + d for m, d in zip(me, delta)))
+        return out
+
+    def ranks(self) -> Iterator[int]:
+        return iter(range(self.num_ranks))
+
+
+def balanced_layout(global_extents: Tuple[int, int, int], num_ranks: int) -> RankLayout:
+    """Choose a near-cubic factorisation of ``num_ranks`` that divides
+    the domain (largest factors on the largest extents)."""
+    best = None
+    for ri in _divisors(num_ranks):
+        for rj in _divisors(num_ranks // ri):
+            rk = num_ranks // (ri * rj)
+            if ri * rj * rk != num_ranks:
+                continue
+            dims = (ri, rj, rk)
+            if any(g % r for g, r in zip(global_extents, dims)):
+                continue
+            surface = sum(
+                2 * prod(g // r for g, r in zip(global_extents, dims))
+                / (g // r_)
+                for g, r_ in zip(global_extents, dims)
+                for r in [1]
+            )
+            key = (max(dims) / min(dims), surface)
+            if best is None or key < best[0]:
+                best = (key, dims)
+    if best is None:
+        raise LayoutError(
+            f"no factorisation of {num_ranks} ranks divides {global_extents}"
+        )
+    return RankLayout(global_extents, best[1])
+
+
+def _divisors(n: int):
+    return [d for d in range(1, n + 1) if n % d == 0]

@@ -1,0 +1,84 @@
+"""Interconnect models for the paper's systems (Section 4.1).
+
+Perlmutter and Crusher both use HPE Slingshot 11; Perlmutter provides
+up to 12.5 GB/s per NIC (one NIC per GPU), while on Crusher the NICs
+attach directly to the GCDs giving more overall network bandwidth.
+The model is the standard postal (alpha-beta) model: a message of ``n``
+bytes costs ``alpha + n / beta``; messages to distinct neighbours
+serialise through the rank's NIC(s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.comm.exchange import Message
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Alpha-beta network model for one rank's NIC attachment."""
+
+    name: str
+    latency_s: float  # alpha
+    bandwidth: float  # beta, bytes/s per rank
+    #: Messages to distinct neighbours that can be in flight at once
+    #: (overlapping RDMA streams).
+    concurrency: int = 4
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0 or self.bandwidth <= 0 or self.concurrency < 1:
+            raise SimulationError(f"invalid interconnect parameters: {self}")
+
+    def message_time(self, nbytes: int) -> float:
+        """Postal model for one message."""
+        if nbytes < 0:
+            raise SimulationError("message size must be non-negative")
+        return self.latency_s + nbytes / self.bandwidth
+
+    def exchange_time(self, messages: Iterable[Message], rank: int) -> float:
+        """Time for ``rank`` to receive its halo under this model.
+
+        Per-message latencies pipeline across the NIC's concurrent
+        streams; the payload serialises through the rank's bandwidth.
+        """
+        mine = [m for m in messages if m.dst_rank == rank]
+        if not mine:
+            return 0.0
+        payload = sum(m.bytes for m in mine)
+        lat_chains = -(-len(mine) // self.concurrency)
+        return lat_chains * self.latency_s + payload / self.bandwidth
+
+
+#: Perlmutter: Slingshot 11, up to 12.5 GB/s per NIC, one NIC per A100.
+SLINGSHOT11_PERLMUTTER = Interconnect(
+    name="Slingshot-11 (Perlmutter)", latency_s=2.0e-6, bandwidth=12.5e9
+)
+
+#: Crusher/Frontier: Slingshot 11 with the NIC attached directly to the
+#: GCD — the paper notes "more overall network bandwidth" per GCD.
+SLINGSHOT11_CRUSHER = Interconnect(
+    name="Slingshot-11 (Crusher)", latency_s=2.0e-6, bandwidth=25.0e9
+)
+
+#: Florentia/Aurora-class: Slingshot 11 with 8 NICs per node shared by
+#: 6 GPUs / 12 stacks (approximate per-stack share).
+SLINGSHOT11_FLORENTIA = Interconnect(
+    name="Slingshot-11 (Florentia)", latency_s=2.0e-6, bandwidth=16.0e9
+)
+
+INTERCONNECTS = {
+    "A100": SLINGSHOT11_PERLMUTTER,
+    "MI250X": SLINGSHOT11_CRUSHER,
+    "PVC": SLINGSHOT11_FLORENTIA,
+}
+
+
+def interconnect_for(arch_name: str) -> Interconnect:
+    if arch_name not in INTERCONNECTS:
+        raise SimulationError(
+            f"no interconnect for '{arch_name}'; known: {sorted(INTERCONNECTS)}"
+        )
+    return INTERCONNECTS[arch_name]

@@ -1,0 +1,23 @@
+"""CPU platforms (KNL, Skylake) for the cross-CPU/GPU portability story.
+
+The earlier BrickLib study (P3HPC 2018) demonstrated the same DSL +
+brick layout + vector code generator on CPUs; this package makes those
+platforms first-class targets of the simulator::
+
+    from repro import cpu, dsl, gpu
+
+    plat = cpu.cpu_platform("KNL")
+    result = gpu.simulate(dsl.star(2), "bricks_codegen", plat)
+"""
+
+from repro.cpu.arch import CPU_ARCHITECTURES, KNL, SKX, cpu_architecture
+from repro.cpu.profiles import CPU_PROFILES, cpu_platform
+
+__all__ = [
+    "CPU_ARCHITECTURES",
+    "CPU_PROFILES",
+    "KNL",
+    "SKX",
+    "cpu_architecture",
+    "cpu_platform",
+]

@@ -1,0 +1,64 @@
+"""CPU machine models: the platforms of the earlier BrickLib study.
+
+The paper's Section 3 notes that BrickLib's performance portability was
+previously demonstrated on Intel Xeon Phi (KNL) and Intel Skylake CPUs
+(Zhao et al., P3HPC 2018), with the vector code generator mapping the
+same vector abstraction to AVX-512 instead of SIMT shuffles.  These
+models make those platforms first-class citizens of the same simulator:
+a CPU is described with the identical parameter set (cores ~ CUs, SIMD
+lanes in doubles, cache and bandwidth figures from the vendor sheets).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import SimulationError
+from repro.gpu.arch import GPUArchitecture
+
+#: Intel Xeon Phi 7250 (Knights Landing): 68 cores at 1.4 GHz, two
+#: AVX-512 VPUs per core (8 doubles wide), ~3 TFLOP/s FP64, 16 GB
+#: MCDRAM at ~450 GB/s (flat mode), 34 MB aggregate L2 (1 MB per tile).
+KNL = GPUArchitecture(
+    name="KNL",
+    vendor="IntelCPU",
+    num_cus=68,
+    clock_ghz=1.4,
+    simd_width=8,
+    peak_fp64=3.0e12,
+    hbm_bw=450e9,
+    llc_bytes=34 * 2**20,
+    l1_bytes_per_cu=32 * 2**10,
+    l1_bw=6e12,
+    issue_per_cu=2,
+    sector_bytes=64,
+    line_bytes=64,
+)
+
+#: Intel Xeon Platinum (Skylake-SP, one socket): 28 cores at 2.1 GHz
+#: AVX-512 base, ~1.9 TFLOP/s FP64, ~115 GB/s DDR4, 38.5 MB L3.
+SKX = GPUArchitecture(
+    name="SKX",
+    vendor="IntelCPU",
+    num_cus=28,
+    clock_ghz=2.1,
+    simd_width=8,
+    peak_fp64=1.9e12,
+    hbm_bw=115e9,
+    llc_bytes=38 * 2**20,
+    l1_bytes_per_cu=32 * 2**10,
+    l1_bw=4e12,
+    issue_per_cu=4,
+    sector_bytes=64,
+    line_bytes=64,
+)
+
+CPU_ARCHITECTURES: Dict[str, GPUArchitecture] = {"KNL": KNL, "SKX": SKX}
+
+
+def cpu_architecture(name: str) -> GPUArchitecture:
+    if name not in CPU_ARCHITECTURES:
+        raise SimulationError(
+            f"unknown CPU '{name}'; known: {sorted(CPU_ARCHITECTURES)}"
+        )
+    return CPU_ARCHITECTURES[name]

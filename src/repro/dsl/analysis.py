@@ -1,0 +1,68 @@
+"""Analytical properties of stencils used throughout the evaluation.
+
+This module owns the paper's normalisation choices (Section 4.4): the
+minimum FLOP count shared by all kernel implementations of a stencil, and
+the compulsory-traffic byte count (one read + one write per point) that
+yields the theoretical arithmetic intensities of Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dsl.stencil import Stencil
+
+#: Bytes of a double-precision element.
+FP64_BYTES = 8
+
+#: Compulsory bytes per grid point: one read of the input + one write of the
+#: output, both double precision (paper Section 5.2.1: 512**3 * 16 B = 2.15 GB).
+COMPULSORY_BYTES_PER_POINT = 2 * FP64_BYTES
+
+
+@dataclass(frozen=True)
+class StencilAnalysis:
+    """Derived per-point quantities for one stencil."""
+
+    name: str
+    shape: str
+    radius: int
+    points: int
+    unique_coefficients: int
+    flops_per_point: int
+    theoretical_ai: float
+
+
+def analyze(stencil: Stencil, name: str | None = None) -> StencilAnalysis:
+    """Compute the Table 2 / Table 4 row for ``stencil``."""
+    flops = stencil.flops_per_point(minimal=True)
+    return StencilAnalysis(
+        name=name or stencil.description(),
+        shape=stencil.shape_class(),
+        radius=stencil.radius,
+        points=stencil.points,
+        unique_coefficients=stencil.unique_coefficients(),
+        flops_per_point=flops,
+        theoretical_ai=flops / COMPULSORY_BYTES_PER_POINT,
+    )
+
+
+def total_flops(stencil: Stencil, domain: tuple[int, ...]) -> int:
+    """Minimum FLOPs to apply ``stencil`` over an interior ``domain``."""
+    n = 1
+    for e in domain:
+        n *= e
+    return n * stencil.flops_per_point(minimal=True)
+
+
+def compulsory_bytes(domain: tuple[int, ...]) -> int:
+    """Theoretical minimum bytes moved for one out-of-place sweep."""
+    n = 1
+    for e in domain:
+        n *= e
+    return n * COMPULSORY_BYTES_PER_POINT
+
+
+def theoretical_ai(stencil: Stencil) -> float:
+    """Theoretical arithmetic intensity (FLOP/byte), Table 4."""
+    return stencil.flops_per_point(minimal=True) / COMPULSORY_BYTES_PER_POINT

@@ -1,0 +1,111 @@
+"""Symbolic coefficient algebra for stencil taps.
+
+A stencil tap's weight is a small polynomial over named constants
+(``ConstRef``) and literals: sums of terms, each term a float factor times
+a multiset of symbol names.  This is just enough algebra to lower any
+expression the DSL admits, to count *unique* coefficients (Table 2 of the
+paper exploits symmetry by reusing one coefficient per shell), and to
+evaluate weights numerically once the host binds symbol values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import DSLError
+
+
+@dataclass(frozen=True)
+class CoeffTerm:
+    """One product term: ``factor * symbols[0] * symbols[1] * ...``."""
+
+    factor: float
+    symbols: Tuple[str, ...]  # sorted multiset of ConstRef names
+
+
+@dataclass(frozen=True)
+class Coeff:
+    """A sum of :class:`CoeffTerm` in canonical (sorted, merged) form."""
+
+    terms: Tuple[CoeffTerm, ...]
+
+    # ---- constructors -------------------------------------------------
+    @staticmethod
+    def zero() -> "Coeff":
+        return Coeff(())
+
+    @staticmethod
+    def const(value: float) -> "Coeff":
+        return _canonical([CoeffTerm(float(value), ())])
+
+    @staticmethod
+    def symbol(name: str) -> "Coeff":
+        return _canonical([CoeffTerm(1.0, (name,))])
+
+    # ---- algebra ------------------------------------------------------
+    def __add__(self, other: "Coeff") -> "Coeff":
+        return _canonical(list(self.terms) + list(other.terms))
+
+    def __neg__(self) -> "Coeff":
+        return _canonical([CoeffTerm(-t.factor, t.symbols) for t in self.terms])
+
+    def __sub__(self, other: "Coeff") -> "Coeff":
+        return self + (-other)
+
+    def __mul__(self, other: "Coeff") -> "Coeff":
+        prods = [
+            CoeffTerm(a.factor * b.factor, tuple(sorted(a.symbols + b.symbols)))
+            for a in self.terms
+            for b in other.terms
+        ]
+        return _canonical(prods)
+
+    # ---- queries ------------------------------------------------------
+    def is_zero(self) -> bool:
+        return not self.terms
+
+    def symbols(self) -> frozenset:
+        """All ConstRef names appearing in this coefficient."""
+        return frozenset(s for t in self.terms for s in t.symbols)
+
+    def evaluate(self, bindings: Mapping[str, float]) -> float:
+        """Numeric value given values for every referenced symbol."""
+        total = 0.0
+        for t in self.terms:
+            prod = t.factor
+            for s in t.symbols:
+                if s not in bindings:
+                    raise DSLError(f"no value bound for coefficient symbol '{s}'")
+                prod *= bindings[s]
+            total += prod
+        return total
+
+    def key(self) -> Tuple[Tuple[float, Tuple[str, ...]], ...]:
+        """Hashable canonical identity, used to count unique coefficients."""
+        return tuple((t.factor, t.symbols) for t in self.terms)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if not self.terms:
+            return "0"
+        parts = []
+        for t in self.terms:
+            sym = "*".join(t.symbols)
+            if sym and t.factor == 1.0:
+                parts.append(sym)
+            elif sym:
+                parts.append(f"{t.factor:g}*{sym}")
+            else:
+                parts.append(f"{t.factor:g}")
+        return " + ".join(parts)
+
+
+def _canonical(terms) -> Coeff:
+    """Merge like terms, drop zeros, sort deterministically."""
+    merged: Dict[Tuple[str, ...], float] = {}
+    for t in terms:
+        merged[t.symbols] = merged.get(t.symbols, 0.0) + t.factor
+    kept = [
+        CoeffTerm(f, syms) for syms, f in sorted(merged.items()) if f != 0.0
+    ]
+    return Coeff(tuple(kept))

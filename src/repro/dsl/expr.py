@@ -1,0 +1,103 @@
+"""Expression AST for the stencil DSL.
+
+The DSL builds small arithmetic expressions over grid accesses and
+coefficients (paper Figure 1).  Nodes are immutable; operators build new
+nodes.  The AST intentionally supports only what linear constant-
+coefficient stencils need — addition, subtraction, negation, and
+multiplication by a coefficient — so that :mod:`repro.dsl.stencil` can
+lower any well-formed expression to a canonical ``offset -> coefficient``
+map and reject non-linear programs with a clear error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.errors import DSLError
+
+Number = Union[int, float]
+
+
+class Expr:
+    """Base class for DSL expression nodes; provides operator overloads."""
+
+    def __add__(self, other: "Expr | Number") -> "Expr":
+        return Add(self, _coerce(other))
+
+    def __radd__(self, other: "Expr | Number") -> "Expr":
+        return Add(_coerce(other), self)
+
+    def __sub__(self, other: "Expr | Number") -> "Expr":
+        return Add(self, Neg(_coerce(other)))
+
+    def __rsub__(self, other: "Expr | Number") -> "Expr":
+        return Add(_coerce(other), Neg(self))
+
+    def __mul__(self, other: "Expr | Number") -> "Expr":
+        return Mul(self, _coerce(other))
+
+    def __rmul__(self, other: "Expr | Number") -> "Expr":
+        return Mul(_coerce(other), self)
+
+    def __neg__(self) -> "Expr":
+        return Neg(self)
+
+
+def _coerce(x: "Expr | Number") -> Expr:
+    if isinstance(x, Expr):
+        return x
+    if isinstance(x, (int, float)):
+        return Const(float(x))
+    raise DSLError(f"cannot use {type(x).__name__} in a stencil expression")
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal numeric coefficient."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class ConstRef(Expr):
+    """A named symbolic coefficient, bound to a value at execution time.
+
+    Matches the paper's ``ConstRef("MPI_B0")`` usage: the generated kernel
+    refers to the constant by name and the host supplies its value.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise DSLError("ConstRef requires a non-empty name")
+
+
+@dataclass(frozen=True)
+class GridRef(Expr):
+    """An access to a grid at a constant offset, e.g. ``input(i, j+1, k-2)``.
+
+    ``offsets`` is one integer per grid dimension, ordered by dimension
+    index (dim 0 first — the contiguous dimension).
+    """
+
+    grid_name: str
+    offsets: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Add(Expr):
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class Mul(Expr):
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class Neg(Expr):
+    arg: Expr

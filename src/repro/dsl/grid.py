@@ -1,0 +1,71 @@
+"""Grids and grid accesses for the stencil DSL.
+
+A :class:`Grid` is a named, N-dimensional field.  Calling it with indices
+(``input(i, j+1, k)``) produces a :class:`GridAccess` — an expression node
+usable inside stencil arithmetic.  Calling the *output* grid and invoking
+:meth:`GridAccess.assign` lowers the whole expression into a
+:class:`repro.dsl.stencil.Stencil`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dsl.expr import Expr, GridRef
+from repro.dsl.indices import Index, ShiftedIndex, as_shift
+from repro.errors import DSLError
+
+
+class GridAccess(GridRef):
+    """A :class:`GridRef` that can also be the target of an assignment."""
+
+    __slots__ = ()
+
+    def assign(self, expr: "Expr | int | float"):
+        """Lower ``self = expr`` into a :class:`repro.dsl.stencil.Stencil`.
+
+        The access being assigned must be at the un-shifted centre point
+        (all offsets zero): BrickLib stencils write each output point once,
+        out-of-place.
+        """
+        from repro.dsl.stencil import lower_assignment
+
+        return lower_assignment(self, expr)
+
+
+@dataclass(frozen=True)
+class Grid:
+    """A named N-dimensional field referenced by stencil expressions.
+
+    Matches the paper's ``Grid("in", 3)``.  ``ndim`` is the number of
+    spatial dimensions; every access must supply exactly one subscript per
+    dimension, each of which is an :class:`Index` (optionally shifted by a
+    constant), and each index dimension must appear exactly once.
+    """
+
+    name: str
+    ndim: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DSLError("Grid requires a non-empty name")
+        if self.ndim < 1:
+            raise DSLError(f"Grid ndim must be >= 1, got {self.ndim}")
+
+    def __call__(self, *subscripts: "Index | ShiftedIndex") -> GridAccess:
+        if len(subscripts) != self.ndim:
+            raise DSLError(
+                f"grid '{self.name}' has {self.ndim} dimensions but was "
+                f"accessed with {len(subscripts)} subscripts"
+            )
+        shifts = [as_shift(s) for s in subscripts]
+        dims = [s.dim for s in shifts]
+        if sorted(dims) != list(range(self.ndim)):
+            raise DSLError(
+                f"grid '{self.name}' access must use each of dimensions "
+                f"0..{self.ndim - 1} exactly once, got dims {dims}"
+            )
+        offsets = [0] * self.ndim
+        for s in shifts:
+            offsets[s.dim] = s.offset
+        return GridAccess(self.name, tuple(offsets))

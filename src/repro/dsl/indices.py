@@ -1,0 +1,85 @@
+"""Symbolic loop indices for the stencil DSL.
+
+Mirrors BrickLib's python-like DSL (paper Figure 1)::
+
+    i = Index(0)
+    j = Index(1)
+    k = Index(2)
+
+An :class:`Index` names one spatial dimension of the iteration space.
+``i + 1`` / ``i - 2`` produce :class:`ShiftedIndex` objects carrying a
+constant integer offset; these are the only index arithmetic a stencil
+needs, and restricting to constant shifts is what lets the library lower
+every grid access to a compile-time offset vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DSLError
+
+
+@dataclass(frozen=True)
+class ShiftedIndex:
+    """An :class:`Index` plus a constant integer offset (e.g. ``i + 1``)."""
+
+    dim: int
+    offset: int
+
+    def __add__(self, other: int) -> "ShiftedIndex":
+        if not isinstance(other, int):
+            raise DSLError(f"index offsets must be int, got {type(other).__name__}")
+        return ShiftedIndex(self.dim, self.offset + other)
+
+    def __radd__(self, other: int) -> "ShiftedIndex":
+        return self.__add__(other)
+
+    def __sub__(self, other: int) -> "ShiftedIndex":
+        if not isinstance(other, int):
+            raise DSLError(f"index offsets must be int, got {type(other).__name__}")
+        return ShiftedIndex(self.dim, self.offset - other)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        name = "ijk"[self.dim] if self.dim < 3 else f"x{self.dim}"
+        if self.offset == 0:
+            return name
+        return f"{name}{self.offset:+d}"
+
+
+@dataclass(frozen=True)
+class Index:
+    """A symbolic loop index bound to spatial dimension ``dim`` (0-based).
+
+    By BrickLib convention dimension 0 is ``i`` (fastest varying /
+    contiguous), dimension 1 is ``j``, dimension 2 is ``k``.
+    """
+
+    dim: int
+
+    def __post_init__(self) -> None:
+        if self.dim < 0:
+            raise DSLError(f"Index dimension must be >= 0, got {self.dim}")
+
+    def __add__(self, other: int) -> ShiftedIndex:
+        return ShiftedIndex(self.dim, 0) + other
+
+    def __radd__(self, other: int) -> ShiftedIndex:
+        return self.__add__(other)
+
+    def __sub__(self, other: int) -> ShiftedIndex:
+        return ShiftedIndex(self.dim, 0) - other
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "ijk"[self.dim] if self.dim < 3 else f"x{self.dim}"
+
+
+def as_shift(x: "Index | ShiftedIndex") -> ShiftedIndex:
+    """Normalise an index argument to a :class:`ShiftedIndex`."""
+    if isinstance(x, Index):
+        return ShiftedIndex(x.dim, 0)
+    if isinstance(x, ShiftedIndex):
+        return x
+    raise DSLError(
+        f"grid subscripts must be Index or Index±int, got {type(x).__name__}"
+    )

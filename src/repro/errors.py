@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with one ``except`` clause while still
+letting programming errors (``TypeError`` from bad Python usage, etc.)
+propagate untouched.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DSLError(ReproError):
+    """Invalid stencil DSL construction (non-linear expression, bad index use)."""
+
+
+class LayoutError(ReproError):
+    """Invalid brick layout or decomposition (non-divisible extents, bad dims)."""
+
+
+class CodegenError(ReproError):
+    """Vector code generation failed (unsupported pattern, bad fold)."""
+
+
+class SimulationError(ReproError):
+    """GPU simulator was configured or driven inconsistently."""
+
+
+class MetricError(ReproError):
+    """Performance-portability metric could not be computed (missing platform)."""

@@ -1,0 +1,127 @@
+"""GPU machine models for the three platforms of the study (paper §4.1).
+
+Each :class:`GPUArchitecture` captures the published characteristics the
+simulator needs: compute-unit count and clock, FP64 peak, HBM bandwidth,
+cache capacities, warp/wave/sub-group width, and transaction sizes.  The
+comparison units follow the paper: one whole A100, one MI250X *GCD*, one
+PVC *stack*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class GPUArchitecture:
+    """Hardware parameters of one GPU (or GCD / stack)."""
+
+    name: str
+    vendor: str
+    #: Streaming multiprocessors / compute units / Xe-cores.
+    num_cus: int
+    clock_ghz: float
+    #: SIMT width the code generator targets (warp / wave / sub-group).
+    simd_width: int
+    #: Peak double-precision throughput, FLOP/s.
+    peak_fp64: float
+    #: Peak HBM bandwidth, bytes/s.
+    hbm_bw: float
+    #: Last-level cache capacity, bytes (L2 on A100/MI250X, L3 on PVC).
+    llc_bytes: int
+    #: First-level cache/shared-memory capacity per CU, bytes.
+    l1_bytes_per_cu: int
+    #: Aggregate L1 bandwidth, bytes/s (effective, not nominal).
+    l1_bw: float
+    #: Warp-instruction issue slots per CU per cycle.
+    issue_per_cu: int
+    #: Memory transaction (sector) size, bytes.
+    sector_bytes: int = 32
+    #: Cache-line size, bytes.
+    line_bytes: int = 128
+
+    def __post_init__(self) -> None:
+        if self.num_cus <= 0 or self.peak_fp64 <= 0 or self.hbm_bw <= 0:
+            raise SimulationError(f"invalid architecture parameters for {self.name}")
+
+    @property
+    def machine_balance(self) -> float:
+        """Ridge-point arithmetic intensity (FLOP/byte) at vendor peaks."""
+        return self.peak_fp64 / self.hbm_bw
+
+    @property
+    def issue_rate(self) -> float:
+        """Aggregate warp-instruction issue rate, instructions/s."""
+        return self.num_cus * self.issue_per_cu * self.clock_ghz * 1e9
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: NVIDIA A100 (Perlmutter): 108 SMs, 9.7 TFLOP/s FP64 (with FMA on the
+#: FP64 units + tensor cores excluded), 40 MB L2, 40 GB HBM2e at 1.555 TB/s,
+#: warp width 32.  L1: 192 KB unified per SM.  The effective aggregate L1
+#: bandwidth (32 B sectors, ld/st-unit limited) is set to ~20 TB/s.
+A100 = GPUArchitecture(
+    name="A100",
+    vendor="NVIDIA",
+    num_cus=108,
+    clock_ghz=1.41,
+    simd_width=32,
+    peak_fp64=9.7e12,
+    hbm_bw=1.555e12,
+    llc_bytes=40 * 2**20,
+    l1_bytes_per_cu=192 * 2**10,
+    l1_bw=20e12,
+    issue_per_cu=4,
+)
+
+#: One GCD of an AMD MI250X (Crusher/Frontier): 110 CUs, ~24 TFLOP/s FP64,
+#: 8 MB L2, 64 GB HBM2e at 1.6 TB/s, wavefront width 64.  L1: 16 KB per CU
+#: (small — the paper's Section 4.1 notes "a small L1 cache").
+MI250X = GPUArchitecture(
+    name="MI250X",
+    vendor="AMD",
+    num_cus=110,
+    clock_ghz=1.7,
+    simd_width=64,
+    peak_fp64=23.9e12,
+    hbm_bw=1.6e12,
+    llc_bytes=8 * 2**20,
+    l1_bytes_per_cu=16 * 2**10,
+    l1_bw=14e12,
+    issue_per_cu=4,
+    line_bytes=64,
+)
+
+#: One stack of an Intel Data Center GPU Max (Ponte Vecchio, Florentia):
+#: 64 Xe-cores per stack (512 EUs), ~16 TFLOP/s FP64, 208 MB L3 ("Rambo"
+#: cache), 64 GB HBM2e at 1.64 TB/s, sub-group width 16 used by the paper.
+PVC = GPUArchitecture(
+    name="PVC",
+    vendor="Intel",
+    num_cus=64,
+    clock_ghz=1.6,
+    simd_width=16,
+    peak_fp64=16.0e12,
+    hbm_bw=1.64e12,
+    llc_bytes=208 * 2**20,
+    l1_bytes_per_cu=448 * 2**10,
+    l1_bw=31e12,
+    issue_per_cu=8,
+    sector_bytes=64,
+    line_bytes=64,
+)
+
+ARCHITECTURES = {"A100": A100, "MI250X": MI250X, "PVC": PVC}
+
+
+def architecture(name: str) -> GPUArchitecture:
+    """Look up one of the study's architectures by name."""
+    if name not in ARCHITECTURES:
+        raise SimulationError(
+            f"unknown architecture '{name}'; known: {sorted(ARCHITECTURES)}"
+        )
+    return ARCHITECTURES[name]

@@ -1,0 +1,141 @@
+"""Trace-driven set-associative LRU cache simulator.
+
+Used to *validate* the analytic traffic model on scaled-down domains
+(the tests feed it real address traces) and by the cache-capacity
+ablation benchmark.  The implementation is deliberately simple:
+line-granular, true LRU per set, write-allocate optional.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class CacheSim:
+    """A set-associative LRU cache over line addresses.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total capacity; must be a multiple of ``line_bytes * associativity``.
+    line_bytes:
+        Line (fill granularity) size.
+    associativity:
+        Ways per set; ``0`` means fully associative.
+    write_allocate:
+        Whether stores fetch the line on miss (default True — write-back,
+        write-allocate, the common GPU L2 policy).
+    """
+
+    capacity_bytes: int
+    line_bytes: int = 128
+    associativity: int = 16
+    write_allocate: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+    _sets: List[OrderedDict] = field(init=False, repr=False)
+    _nsets: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.line_bytes <= 0:
+            raise SimulationError("cache capacity and line size must be positive")
+        nlines = self.capacity_bytes // self.line_bytes
+        if nlines == 0:
+            raise SimulationError("cache smaller than one line")
+        assoc = self.associativity if self.associativity > 0 else nlines
+        if nlines % assoc != 0:
+            raise SimulationError(
+                f"{nlines} lines not divisible by associativity {assoc}"
+            )
+        self._nsets = nlines // assoc
+        self.associativity = assoc
+        self._sets = [OrderedDict() for _ in range(self._nsets)]
+
+    # ---- core access -------------------------------------------------------
+    def access(self, line_addr: int, write: bool = False) -> bool:
+        """Touch one line address; returns True on hit."""
+        s = self._sets[line_addr % self._nsets]
+        st = self.stats
+        st.accesses += 1
+        if line_addr in s:
+            st.hits += 1
+            s.move_to_end(line_addr)
+            if write:
+                s[line_addr] = True  # dirty
+            return True
+        st.misses += 1
+        if write and not self.write_allocate:
+            st.writebacks += 1  # write-through of the store itself
+            return False
+        st.fills += 1
+        if len(s) >= self.associativity:
+            _, dirty = s.popitem(last=False)
+            st.evictions += 1
+            if dirty:
+                st.writebacks += 1
+        s[line_addr] = bool(write)
+        return False
+
+    def access_trace(self, lines: Iterable[int], write: bool = False) -> int:
+        """Touch a sequence of line addresses; returns the miss count."""
+        before = self.stats.misses
+        for addr in lines:
+            self.access(int(addr), write)
+        return self.stats.misses - before
+
+    def access_array(self, lines: np.ndarray, write: bool = False) -> int:
+        """Touch a numpy array of line addresses (flattened in order)."""
+        return self.access_trace(lines.reshape(-1).tolist(), write)
+
+    def flush(self) -> int:
+        """Write back all dirty lines; returns the number written."""
+        dirty = 0
+        for s in self._sets:
+            for _, d in s.items():
+                if d:
+                    dirty += 1
+            s.clear()
+        self.stats.writebacks += dirty
+        return dirty
+
+    # ---- derived ------------------------------------------------------------
+    @property
+    def miss_bytes(self) -> int:
+        """Bytes fetched from the next level so far (line fills)."""
+        return self.stats.fills * self.line_bytes
+
+    @property
+    def writeback_bytes(self) -> int:
+        return self.stats.writebacks * self.line_bytes
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+
+def dense_row_lines(
+    base_elem: int, row_elems: int, elem_bytes: int = 8, line_bytes: int = 128
+) -> np.ndarray:
+    """Line addresses touched by a contiguous row of elements."""
+    start = base_elem * elem_bytes
+    end = start + row_elems * elem_bytes
+    return np.arange(start // line_bytes, (end - 1) // line_bytes + 1)

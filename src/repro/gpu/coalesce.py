@@ -1,0 +1,62 @@
+"""Memory-coalescing arithmetic for warp/wave accesses.
+
+GPUs service a warp's global access as a set of fixed-size *sector*
+transactions (32 B on the architectures studied); the cache operates on
+larger *lines* (128 B).  These helpers compute how many sectors/lines a
+contiguous or strided warp access touches — the quantity that separates
+a well-coalesced brick-row read from the multi-stream access pattern of
+a conventional array tile.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.util import ceil_div
+
+#: Default transaction sizes for all three studied GPUs.
+SECTOR_BYTES = 32
+LINE_BYTES = 128
+
+
+def spans(start_byte: int, nbytes: int, granule: int) -> int:
+    """Number of ``granule``-sized units touched by ``[start, start+nbytes)``."""
+    if nbytes <= 0:
+        raise SimulationError(f"access size must be positive, got {nbytes}")
+    if granule <= 0:
+        raise SimulationError(f"granule must be positive, got {granule}")
+    first = start_byte // granule
+    last = (start_byte + nbytes - 1) // granule
+    return last - first + 1
+
+
+def contiguous_sectors(start_byte: int, lanes: int, elem_bytes: int = 8,
+                       sector: int = SECTOR_BYTES) -> int:
+    """Sectors for a warp reading ``lanes`` consecutive elements."""
+    return spans(start_byte, lanes * elem_bytes, sector)
+
+
+def contiguous_lines(start_byte: int, lanes: int, elem_bytes: int = 8,
+                     line: int = LINE_BYTES) -> int:
+    """Cache lines for a warp reading ``lanes`` consecutive elements."""
+    return spans(start_byte, lanes * elem_bytes, line)
+
+
+def strided_sectors(lanes: int, stride_bytes: int, elem_bytes: int = 8,
+                    sector: int = SECTOR_BYTES) -> int:
+    """Sectors for a warp where lane ``l`` reads ``base + l * stride``.
+
+    With stride >= sector every lane is its own transaction (the fully
+    scalarised worst case); smaller strides pack ``sector // stride``
+    lanes per transaction.
+    """
+    if stride_bytes < elem_bytes:
+        raise SimulationError("stride must be at least the element size")
+    if stride_bytes >= sector:
+        return lanes
+    per_sector = sector // stride_bytes
+    return ceil_div(lanes, per_sector)
+
+
+def scalarized_sectors(lanes: int) -> int:
+    """Sectors when the compiler fails to coalesce: one per lane."""
+    return lanes

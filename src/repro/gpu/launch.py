@@ -1,0 +1,118 @@
+"""Kernel launch configuration and occupancy calculation.
+
+The paper's kernels launch one thread block per brick/tile with the
+vector length as the block's x-dimension (Figure 2's ``blockIdx.{x,y,z}``
+mapping).  This module derives that configuration from a domain + tile
+and provides an NVIDIA-style occupancy calculator: how many blocks fit
+per compute unit given the register file, and what fraction of the
+latency-hiding warp slots that sustains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.bricks.layout import BrickDims
+from repro.codegen.cost import ProgramCost
+from repro.errors import SimulationError
+from repro.gpu.arch import GPUArchitecture
+from repro.util import prod
+
+#: Architectural limits used by the occupancy model (A100-like defaults,
+#: scaled by each architecture's own register budget in the profile).
+REGISTER_FILE_PER_CU = 65536  # 32-bit registers
+MAX_BLOCKS_PER_CU = 32
+MAX_WARPS_PER_CU = 64
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid/block dimensions of one kernel launch (x fastest)."""
+
+    grid: Tuple[int, int, int]
+    block: Tuple[int, int, int]
+
+    @property
+    def num_blocks(self) -> int:
+        return prod(self.grid)
+
+    @property
+    def threads_per_block(self) -> int:
+        return prod(self.block)
+
+    @property
+    def total_threads(self) -> int:
+        return self.num_blocks * self.threads_per_block
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<<<{self.grid}, {self.block}>>>"
+
+
+def launch_config(
+    domain: Tuple[int, int, int], dims: BrickDims, vector_length: int
+) -> LaunchConfig:
+    """One block per tile, ``vector_length`` threads along x.
+
+    ``domain`` in dimension order (i, j, k); grid dimensions follow the
+    paper's mapping (x = i tiles, y = j tiles, z = k tiles).
+    """
+    if any(d % b for d, b in zip(domain, dims.dims)):
+        raise SimulationError(f"domain {domain} not a multiple of tile {dims.dims}")
+    grid = tuple(d // b for d, b in zip(domain, dims.dims))
+    return LaunchConfig(grid=grid, block=(vector_length, 1, 1))
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Occupancy report for one kernel on one architecture."""
+
+    blocks_per_cu: int
+    warps_per_cu: int
+    fraction: float  # of the max warp slots
+    limiter: str  # "registers" | "blocks" | "warps"
+
+
+def occupancy(
+    arch: GPUArchitecture,
+    cost: ProgramCost,
+    threads_per_block: int,
+    regs_per_thread: int | None = None,
+) -> Occupancy:
+    """NVIDIA-style occupancy: blocks/CU limited by registers and caps.
+
+    ``regs_per_thread`` defaults to the generated program's peak live
+    64-bit registers, counted as two 32-bit architectural registers.
+    """
+    if threads_per_block < 1:
+        raise SimulationError("threads per block must be positive")
+    regs64 = regs_per_thread if regs_per_thread is not None else cost.registers
+    regs32 = max(2 * regs64, 16)
+    by_regs = REGISTER_FILE_PER_CU // (regs32 * threads_per_block)
+    warps_per_block = -(-threads_per_block // arch.simd_width)
+    by_warps = MAX_WARPS_PER_CU // warps_per_block
+    blocks = min(by_regs, by_warps, MAX_BLOCKS_PER_CU)
+    if blocks < 1:
+        raise SimulationError(
+            f"kernel needs {regs32} regs x {threads_per_block} threads; "
+            "does not fit one CU"
+        )
+    limiter = (
+        "registers"
+        if by_regs == blocks and by_regs < MAX_BLOCKS_PER_CU
+        else ("warps" if by_warps == blocks and by_warps < MAX_BLOCKS_PER_CU
+              else "blocks")
+    )
+    warps = blocks * warps_per_block
+    return Occupancy(
+        blocks_per_cu=blocks,
+        warps_per_cu=warps,
+        fraction=min(1.0, warps / MAX_WARPS_PER_CU),
+        limiter=limiter,
+    )
+
+
+def waves(config: LaunchConfig, arch: GPUArchitecture, occ: Occupancy) -> float:
+    """How many full waves of blocks the launch needs across the GPU."""
+    concurrent = arch.num_cus * occ.blocks_per_cu
+    return config.num_blocks / concurrent

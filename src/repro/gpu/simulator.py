@@ -1,0 +1,135 @@
+"""The GPU kernel simulator: one call = one profiled kernel sweep.
+
+``simulate`` wires the whole stack together for a single (stencil,
+variant, platform) point of the paper's evaluation matrix:
+
+1. pick the architecture's brick/tile shape (``4 x 4 x SIMD_width``) and
+   vector length (paper Section 4.4);
+2. run the vector code generator (naive for the plain ``array`` variant,
+   auto gather/scatter for the codegen variants);
+3. cost the generated program and feed it to the traffic model;
+4. evaluate the bottleneck timing model.
+
+The result carries everything the paper's figures need: normalised
+FLOPs, HBM and L1 bytes, runtime, and the diagnostic breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.bricks.layout import BrickDims
+from repro.codegen.cost import ProgramCost, cost_of
+from repro.codegen.generator import CodegenOptions, generate
+from repro.dsl.analysis import total_flops
+from repro.dsl.stencil import Stencil
+from repro.errors import SimulationError
+from repro.gpu.progmodel import VARIANTS, Platform
+from repro.gpu.timing import TimingBreakdown, kernel_time
+from repro.gpu.traffic import Traffic, estimate_traffic
+from repro.util import dims_to_shape, prod
+
+#: Variant -> (data layout, codegen strategy).
+VARIANT_CONFIG = {
+    "array": ("array", "naive"),
+    "array_codegen": ("array", "auto"),
+    "bricks_codegen": ("brick", "auto"),
+}
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Profile of one simulated kernel sweep."""
+
+    platform: Platform
+    variant: str
+    stencil_name: str
+    domain: Tuple[int, int, int]  # dim order (ni, nj, nk)
+    flops: int  # normalised (minimum) FLOP count, paper Section 4.4
+    traffic: Traffic
+    timing: TimingBreakdown
+    cost: ProgramCost
+    strategy: str
+
+    @property
+    def time_s(self) -> float:
+        return self.timing.total
+
+    @property
+    def gflops(self) -> float:
+        """Normalised performance in GFLOP/s (the paper's y-axis)."""
+        return self.flops / self.time_s / 1e9
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Empirical AI: normalised FLOPs over measured HBM bytes."""
+        return self.flops / self.traffic.hbm_total_bytes
+
+    @property
+    def hbm_gbytes(self) -> float:
+        return self.traffic.hbm_total_bytes / 1e9
+
+    @property
+    def l1_gbytes(self) -> float:
+        return self.traffic.l1_bytes / 1e9
+
+    def describe(self) -> str:
+        return (
+            f"{self.stencil_name:>6} {self.variant:>14} on {self.platform.name:>11}: "
+            f"{self.gflops:8.1f} GF/s  AI={self.arithmetic_intensity:6.3f}  "
+            f"HBM={self.hbm_gbytes:6.2f} GB  L1={self.l1_gbytes:7.2f} GB  "
+            f"[{self.timing.bottleneck}-bound]"
+        )
+
+
+def tile_for(platform: Platform) -> BrickDims:
+    """The paper's architecture-specific tile/brick: 4 x 4 x SIMD_width."""
+    return BrickDims((platform.arch.simd_width, 4, 4))
+
+
+def simulate(
+    stencil: Stencil,
+    variant: str,
+    platform: Platform,
+    domain: Tuple[int, int, int] = (512, 512, 512),
+    stencil_name: str | None = None,
+    dims: BrickDims | None = None,
+    vector_length: int | None = None,
+) -> SimulationResult:
+    """Simulate one kernel sweep and return its profile.
+
+    ``domain`` is in dimension order ``(ni, nj, nk)`` and must be a
+    multiple of the tile shape.  ``dims`` / ``vector_length`` override
+    the architecture defaults (used by the brick-size ablation).
+    """
+    if variant not in VARIANTS:
+        raise SimulationError(f"unknown variant '{variant}'; known: {VARIANTS}")
+    layout, strategy = VARIANT_CONFIG[variant]
+    dims = dims or tile_for(platform)
+    simd = platform.arch.simd_width
+    # Custom tiles narrower than the SIMD width fall back to one vector
+    # per row.
+    vl = vector_length or (simd if dims.dims[0] % simd == 0 else dims.dims[0])
+    program = generate(stencil, dims, CodegenOptions(vl, strategy))
+    cost = cost_of(program)
+    vp = platform.profile.variant(variant)
+    tile_shape = dims.shape
+    domain_np = dims_to_shape(domain)
+    traffic = estimate_traffic(
+        stencil, layout, cost, domain_np, platform.arch, platform.profile, vp,
+        tile_shape,
+    )
+    ntiles = prod(domain_np) // prod(tile_shape)
+    timing = kernel_time(platform.arch, platform.profile, vp, traffic, cost, ntiles)
+    return SimulationResult(
+        platform=platform,
+        variant=variant,
+        stencil_name=stencil_name or stencil.description(),
+        domain=domain,
+        flops=total_flops(stencil, domain),
+        traffic=traffic,
+        timing=timing,
+        cost=cost,
+        strategy=program.strategy,
+    )

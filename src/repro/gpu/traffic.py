@@ -1,0 +1,149 @@
+"""Analytic memory-traffic model.
+
+Derives, for one kernel sweep over the full domain, the bytes moved at
+the HBM and L1 levels.  The HBM model is first-principles where the
+mechanism is known:
+
+* compulsory traffic — every input point (plus the stencil halo) read
+  once, every output written once;
+* the *layer condition* — re-reads when the last-level cache cannot hold
+  the planes shared between consecutive tile slabs in the slowest
+  dimension (this is what penalises the 8 MB-L2 MI250X on array
+  layouts);
+* residual compiler/layout amplification from the platform's
+  :class:`~repro.gpu.progmodel.VariantProfile` (documented calibration).
+
+The L1 model prices each vector-IR load/store as coalescing sectors —
+naive kernels issuing one load per tap per output produce the >=10x L1
+traffic of the paper's Figure 4 mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.codegen.cost import ProgramCost
+from repro.dsl.analysis import FP64_BYTES
+from repro.dsl.stencil import Stencil
+from repro.errors import SimulationError
+from repro.gpu.arch import GPUArchitecture
+from repro.gpu.progmodel import ModelProfile, VariantProfile
+from repro.util import ceil_div, prod
+
+LAYOUTS = ("array", "brick")
+
+
+@dataclass(frozen=True)
+class Traffic:
+    """Bytes moved by one kernel sweep, by level."""
+
+    hbm_read_bytes: float
+    hbm_write_bytes: float
+    l1_bytes: float
+    load_sectors: float
+    store_sectors: float
+    #: Bytes re-read because the layer condition failed (diagnostic).
+    reuse_miss_bytes: float
+
+    @property
+    def hbm_total_bytes(self) -> float:
+        return self.hbm_read_bytes + self.hbm_write_bytes
+
+
+def layer_condition_extra(
+    stencil: Stencil,
+    layout: str,
+    tile_k: int,
+    domain: Tuple[int, int, int],
+    llc_effective_bytes: float,
+) -> float:
+    """Bytes re-read when k-adjacent tile slabs cannot share the cache.
+
+    Consecutive slabs of tiles along the slowest dimension share ``2r``
+    input planes (array layout) or the ``r`` boundary rows of each brick
+    plane (brick layout — interior brick rows are never needed by a
+    k-neighbour).  If that working set exceeds the effective LLC, the
+    shared planes are re-fetched, adding ``miss_fraction * 2r / tile_k``
+    of the domain per sweep.
+    """
+    ni, nj, _ = domain
+    r = stencil.radius
+    shared_planes = 2 * r if layout == "array" else r
+    working_set = ni * nj * shared_planes * FP64_BYTES
+    if working_set <= llc_effective_bytes:
+        return 0.0
+    miss_fraction = (working_set - llc_effective_bytes) / working_set
+    n = prod(domain)
+    return miss_fraction * (2 * r / tile_k) * n * FP64_BYTES
+
+
+def estimate_traffic(
+    stencil: Stencil,
+    layout: str,
+    cost: ProgramCost,
+    domain: Tuple[int, int, int],
+    arch: GPUArchitecture,
+    profile: ModelProfile,
+    vp: VariantProfile,
+    tile_shape: Tuple[int, int, int],
+) -> Traffic:
+    """Traffic for one out-of-place sweep of ``stencil`` over ``domain``.
+
+    ``domain`` and ``tile_shape`` are in numpy order ``(nk, nj, ni)`` /
+    ``(bk, bj, bi)``; ``domain`` extents must be tile multiples.
+    """
+    if layout not in LAYOUTS:
+        raise SimulationError(f"unknown layout '{layout}'; known: {LAYOUTS}")
+    nk, nj, ni = domain
+    bk, bj, bi = tile_shape
+    if any(n % b != 0 for n, b in zip(domain, tile_shape)):
+        raise SimulationError(
+            f"domain {domain} is not a multiple of tile {tile_shape}"
+        )
+    r = stencil.radius
+    n = prod(domain)
+    ntiles = n // prod(tile_shape)
+
+    # ---- HBM ----------------------------------------------------------
+    write = n * FP64_BYTES * vp.write_amp
+    compulsory = (ni + 2 * r) * (nj + 2 * r) * (nk + 2 * r) * FP64_BYTES
+    extra = layer_condition_extra(
+        stencil,
+        layout,
+        bk,
+        (ni, nj, nk),
+        arch.llc_bytes * profile.llc_utilization,
+    )
+    read = (compulsory + extra) * vp.read_amp
+
+    # ---- L1 -------------------------------------------------------------
+    vl = cost.vl
+    sector = arch.sector_bytes
+    if vp.scalarized:
+        # The compiler broke coalescing: one sector per lane per access.
+        per_aligned = vl
+        per_unaligned = vl
+        per_halo = stencil.radius
+        per_store = vl
+    else:
+        per_aligned = ceil_div(vl * FP64_BYTES, sector)
+        per_unaligned = per_aligned + 1  # boundary-crossing extra sector
+        per_halo = ceil_div(r * FP64_BYTES, sector)
+        per_store = per_aligned
+    load_sectors = ntiles * (
+        cost.loads_aligned * per_aligned
+        + cost.loads_unaligned * per_unaligned
+        + cost.loads_halo * per_halo
+    )
+    store_sectors = ntiles * cost.stores * per_store
+    l1_bytes = (load_sectors + store_sectors) * sector
+
+    return Traffic(
+        hbm_read_bytes=read,
+        hbm_write_bytes=write,
+        l1_bytes=l1_bytes,
+        load_sectors=load_sectors,
+        store_sectors=store_sectors,
+        reuse_miss_bytes=extra,
+    )

@@ -1,0 +1,81 @@
+"""Experiment harness: the full sweep + every table/figure renderer.
+
+Regenerate the paper's whole evaluation::
+
+    from repro import harness
+
+    study = harness.run_study()
+    print(harness.table3(study).render())
+    print(harness.render_fig4(study))
+"""
+
+from repro.harness.ascii_plot import AsciiPlot, correlation_ascii, roofline_ascii
+from repro.harness.experiments import (
+    STENCIL_NAMES,
+    ExperimentConfig,
+    StudyResults,
+    iter_results,
+    run_study,
+)
+from repro.harness.figures import (
+    RooflinePanel,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    render_correlation,
+    render_fig4,
+    render_fig7,
+)
+from repro.harness.reporting import result_row, summary, to_csv, write_csv
+from repro.harness.serialization import (
+    compare_rows,
+    dump_study,
+    load_rows,
+    study_to_dict,
+)
+from repro.harness.tables import (
+    PortabilityTable,
+    render_table2,
+    render_table4,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+__all__ = [
+    "AsciiPlot",
+    "ExperimentConfig",
+    "PortabilityTable",
+    "RooflinePanel",
+    "STENCIL_NAMES",
+    "StudyResults",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "iter_results",
+    "render_correlation",
+    "render_fig4",
+    "render_fig7",
+    "compare_rows",
+    "correlation_ascii",
+    "dump_study",
+    "load_rows",
+    "render_table2",
+    "render_table4",
+    "result_row",
+    "roofline_ascii",
+    "run_study",
+    "study_to_dict",
+    "summary",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "to_csv",
+    "write_csv",
+]

@@ -1,0 +1,164 @@
+"""Text-mode plots for the paper's figures (no plotting backend needed).
+
+Renders log-log scatter plots with optional roof lines and a diagonal —
+enough to eyeball Figure 3's Rooflines and Figures 5/6's correlation
+plots straight from a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import MetricError
+
+#: Marker characters cycled per series.
+MARKERS = "ox+*#@%&"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled point set."""
+
+    label: str
+    points: Tuple[Tuple[float, float], ...]
+
+
+def _log(v: float) -> float:
+    if v <= 0:
+        raise MetricError(f"log-scale plots need positive values, got {v}")
+    return math.log10(v)
+
+
+class AsciiPlot:
+    """A fixed-size character canvas with log-log data coordinates."""
+
+    def __init__(
+        self,
+        width: int = 64,
+        height: int = 20,
+        title: str = "",
+        x_label: str = "x",
+        y_label: str = "y",
+    ) -> None:
+        if width < 16 or height < 8:
+            raise MetricError("plot canvas too small")
+        self.width = width
+        self.height = height
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.series: List[Series] = []
+        self._rooflines: List[Tuple[float, float]] = []  # (bw, peak)
+        self._diagonal = False
+
+    # ---- data -------------------------------------------------------------
+    def add_series(self, label: str, points: Sequence[Tuple[float, float]]) -> None:
+        if not points:
+            raise MetricError(f"series '{label}' has no points")
+        self.series.append(Series(label, tuple(points)))
+
+    def add_roofline(self, peak_bw: float, peak_flops: float) -> None:
+        """Draw min(peak_flops, x * peak_bw) as a line."""
+        self._rooflines.append((peak_bw, peak_flops))
+
+    def add_diagonal(self) -> None:
+        """Draw y = x (for correlation plots)."""
+        self._diagonal = True
+
+    # ---- rendering ------------------------------------------------------------
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        xs = [p[0] for s in self.series for p in s.points]
+        ys = [p[1] for s in self.series for p in s.points]
+        if not xs:
+            raise MetricError("nothing to plot")
+        lo_x, hi_x = _log(min(xs)) - 0.15, _log(max(xs)) + 0.15
+        lo_y, hi_y = _log(min(ys)) - 0.15, _log(max(ys)) + 0.15
+        if self._diagonal:
+            lo = min(lo_x, lo_y)
+            hi = max(hi_x, hi_y)
+            return lo, hi, lo, hi
+        return lo_x, hi_x, lo_y, hi_y
+
+    def _to_cell(self, x: float, y: float, b) -> Tuple[int, int] | None:
+        lo_x, hi_x, lo_y, hi_y = b
+        fx = (_log(x) - lo_x) / (hi_x - lo_x)
+        fy = (_log(y) - lo_y) / (hi_y - lo_y)
+        col = round(fx * (self.width - 1))
+        row = self.height - 1 - round(fy * (self.height - 1))
+        if 0 <= col < self.width and 0 <= row < self.height:
+            return row, col
+        return None
+
+    def render(self) -> str:
+        b = self._bounds()
+        lo_x, hi_x, lo_y, hi_y = b
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        # Background curves first so data overwrites them.
+        for bw, peak in self._rooflines:
+            for col in range(self.width):
+                x = 10 ** (lo_x + col / (self.width - 1) * (hi_x - lo_x))
+                y = min(peak, x * bw)
+                cell = self._to_cell(x, y, b)
+                if cell:
+                    grid[cell[0]][cell[1]] = "-" if y >= peak else "/"
+        if self._diagonal:
+            for col in range(self.width):
+                x = 10 ** (lo_x + col / (self.width - 1) * (hi_x - lo_x))
+                cell = self._to_cell(x, x, b)
+                if cell:
+                    grid[cell[0]][cell[1]] = "."
+
+        for idx, s in enumerate(self.series):
+            marker = MARKERS[idx % len(MARKERS)]
+            for x, y in s.points:
+                cell = self._to_cell(x, y, b)
+                if cell:
+                    grid[cell[0]][cell[1]] = marker
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        for row in grid:
+            lines.append("|" + "".join(row))
+        lines.append("+" + "-" * self.width)
+        lines.append(
+            f" {self.x_label}: {10**lo_x:.3g} .. {10**hi_x:.3g} (log)   "
+            f"{self.y_label}: {10**lo_y:.3g} .. {10**hi_y:.3g} (log)"
+        )
+        legend = "   ".join(
+            f"{MARKERS[i % len(MARKERS)]}={s.label}" for i, s in enumerate(self.series)
+        )
+        lines.append(" " + legend)
+        return "\n".join(lines)
+
+
+def roofline_ascii(panel) -> str:
+    """Render one Figure 3 panel (a harness ``RooflinePanel``) as text."""
+    plot = AsciiPlot(
+        title=f"Roofline: {panel.platform}",
+        x_label="AI (FLOP/byte)",
+        y_label="GFLOP/s",
+    )
+    plot.add_roofline(panel.roofline.peak_bw / 1e9, panel.roofline.peak_flops / 1e9)
+    for variant, pts in panel.series.items():
+        plot.add_series(variant, [(ai, gf) for _, ai, gf in pts])
+    return plot.render()
+
+
+def correlation_ascii(model) -> str:
+    """Render a Figure 5/6 correlation model as text."""
+    plot = AsciiPlot(
+        title=f"{model.quantity}: {model.y_label} (y) vs {model.x_label} (x)",
+        x_label=model.x_label,
+        y_label=model.y_label,
+    )
+    plot.add_diagonal()
+    by_variant: dict = {}
+    for p in model.points:
+        by_variant.setdefault(p.variant, []).append((p.x, p.y))
+    for variant, pts in sorted(by_variant.items()):
+        plot.add_series(variant, pts)
+    return plot.render()

@@ -1,0 +1,91 @@
+"""The full evaluation sweep (paper Section 5).
+
+``run_study`` simulates every (stencil, platform, variant) point of the
+paper's matrix — six stencils (Table 2), five platform columns
+(A100-CUDA, A100-SYCL, MI250X-HIP, MI250X-SYCL, PVC-SYCL), three kernel
+variants — on the 512^3 domain, and returns a :class:`StudyResults`
+that every table and figure renderer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.dsl.shapes import TABLE2, by_name
+from repro.dsl.stencil import Stencil
+from repro.errors import MetricError
+from repro.gpu.progmodel import VARIANTS, Platform, study_platforms
+from repro.gpu.simulator import SimulationResult, simulate
+
+STENCIL_NAMES: Tuple[str, ...] = tuple(c.name for c in TABLE2)
+
+Key = Tuple[str, str, str]  # (stencil, platform name, variant)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """What to sweep; defaults reproduce the paper exactly."""
+
+    stencils: Tuple[str, ...] = STENCIL_NAMES
+    variants: Tuple[str, ...] = VARIANTS
+    domain: Tuple[int, int, int] = (512, 512, 512)
+
+    def platforms(self) -> Tuple[Platform, ...]:
+        return study_platforms()
+
+
+@dataclass
+class StudyResults:
+    """All simulation results of one sweep, keyed for the renderers."""
+
+    config: ExperimentConfig
+    results: Dict[Key, SimulationResult] = field(default_factory=dict)
+
+    def get(self, stencil: str, platform: str, variant: str) -> SimulationResult:
+        key = (stencil, platform, variant)
+        if key not in self.results:
+            raise MetricError(f"no result for {key}; ran: {len(self.results)} points")
+        return self.results[key]
+
+    def platform_names(self) -> List[str]:
+        return [p.name for p in self.config.platforms()]
+
+    def for_platform(self, platform: str) -> List[SimulationResult]:
+        return [
+            r for (s, p, v), r in sorted(self.results.items()) if p == platform
+        ]
+
+    def for_variant(self, variant: str) -> List[SimulationResult]:
+        return [
+            r for (s, p, v), r in sorted(self.results.items()) if v == variant
+        ]
+
+    def stencil_of(self, name: str) -> Stencil:
+        return by_name(name).build()
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def run_study(config: ExperimentConfig | None = None) -> StudyResults:
+    """Simulate the full matrix; deterministic, a few seconds of work."""
+    config = config or ExperimentConfig()
+    study = StudyResults(config=config)
+    for name in config.stencils:
+        stencil = by_name(name).build()
+        for platform in config.platforms():
+            for variant in config.variants:
+                study.results[(name, platform.name, variant)] = simulate(
+                    stencil,
+                    variant,
+                    platform,
+                    domain=config.domain,
+                    stencil_name=name,
+                )
+    return study
+
+
+def iter_results(study: StudyResults) -> Iterable[SimulationResult]:
+    for key in sorted(study.results):
+        yield study.results[key]

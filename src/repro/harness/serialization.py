@@ -1,0 +1,72 @@
+"""JSON persistence for study results.
+
+Saves the flat result rows plus the sweep configuration, so analyses
+(or regression comparisons against a previous run) can reload a study
+without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.errors import MetricError
+from repro.harness.experiments import StudyResults, iter_results
+from repro.harness.reporting import CSV_FIELDS, result_row
+
+FORMAT_VERSION = 1
+
+
+def study_to_dict(study: StudyResults) -> Dict:
+    return {
+        "format_version": FORMAT_VERSION,
+        "domain": list(study.config.domain),
+        "stencils": list(study.config.stencils),
+        "variants": list(study.config.variants),
+        "results": [result_row(r) for r in iter_results(study)],
+    }
+
+
+def dump_study(study: StudyResults, path: str) -> None:
+    with open(path, "w") as f:
+        json.dump(study_to_dict(study), f, indent=1)
+
+
+def load_rows(path: str) -> List[Dict]:
+    """Load the flat result rows of a saved study."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("format_version") != FORMAT_VERSION:
+        raise MetricError(
+            f"unsupported study file version {doc.get('format_version')!r}"
+        )
+    rows = doc["results"]
+    for row in rows:
+        missing = set(CSV_FIELDS) - set(row)
+        if missing:
+            raise MetricError(f"saved row missing fields {sorted(missing)}")
+    return rows
+
+
+def compare_rows(old: List[Dict], new: List[Dict], rtol: float = 0.02) -> List[str]:
+    """Regression check: report rows whose time drifted beyond ``rtol``.
+
+    Returns human-readable difference descriptions (empty = no drift).
+    """
+    def key(row):
+        return (row["stencil"], row["platform"], row["variant"])
+
+    old_map = {key(r): r for r in old}
+    new_map = {key(r): r for r in new}
+    diffs = []
+    for k in sorted(set(old_map) | set(new_map)):
+        if k not in old_map:
+            diffs.append(f"{k}: new result (not in baseline)")
+            continue
+        if k not in new_map:
+            diffs.append(f"{k}: missing from new run")
+            continue
+        t0, t1 = old_map[k]["time_ms"], new_map[k]["time_ms"]
+        if t0 and abs(t1 - t0) / t0 > rtol:
+            diffs.append(f"{k}: time {t0} ms -> {t1} ms")
+    return diffs

@@ -1,0 +1,74 @@
+"""Performance-consistency metrics.
+
+The paper cites Deakin et al.'s companion metrics to Pennycook's P
+(Section 2: "metrics for evaluating consistency of performance").  A
+portable code should not only have a high harmonic-mean efficiency but
+also a *tight spread* of efficiencies across platforms; these helpers
+quantify that spread.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import MetricError
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """sigma / mu of a set of efficiencies (0 = perfectly consistent)."""
+    if len(values) < 2:
+        raise MetricError("consistency needs at least two platforms")
+    n = len(values)
+    mu = sum(values) / n
+    if mu == 0:
+        raise MetricError("consistency undefined for zero-mean efficiencies")
+    var = sum((v - mu) ** 2 for v in values) / n
+    return math.sqrt(var) / mu
+
+
+def efficiency_spread(values: Sequence[float]) -> float:
+    """max / min efficiency ratio (1 = perfectly consistent)."""
+    if not values:
+        raise MetricError("spread of an empty set")
+    lo = min(values)
+    if lo <= 0:
+        raise MetricError("spread needs positive efficiencies")
+    return max(values) / lo
+
+
+@dataclass(frozen=True)
+class ConsistencyReport:
+    """Spread statistics for one application across platforms."""
+
+    mean: float
+    cv: float  # coefficient of variation
+    spread: float  # max / min
+    worst_platform: str
+    best_platform: str
+
+    def describe(self) -> str:
+        return (
+            f"mean {100 * self.mean:.0f}%, cv {self.cv:.2f}, "
+            f"spread {self.spread:.2f}x "
+            f"(best {self.best_platform}, worst {self.worst_platform})"
+        )
+
+
+def consistency(efficiencies: Mapping[str, float]) -> ConsistencyReport:
+    """Consistency report over a platform -> efficiency map."""
+    if len(efficiencies) < 2:
+        raise MetricError("consistency needs at least two platforms")
+    vals = list(efficiencies.values())
+    if any(v <= 0 for v in vals):
+        raise MetricError("efficiencies must be positive")
+    best = max(efficiencies, key=efficiencies.get)
+    worst = min(efficiencies, key=efficiencies.get)
+    return ConsistencyReport(
+        mean=sum(vals) / len(vals),
+        cv=coefficient_of_variation(vals),
+        spread=efficiency_spread(vals),
+        worst_platform=worst,
+        best_platform=best,
+    )

@@ -1,0 +1,106 @@
+"""Correlation models: comparing two programming models point-by-point.
+
+The paper's Figures 5 and 6 introduce *correlation plots*: every
+(stencil, variant) pair becomes one point whose x/y coordinates are the
+same quantity (performance, or bytes moved) measured under two different
+programming models on the same GPU.  Points on the diagonal mean the
+models behave identically; distance from the diagonal quantifies the
+gap; and the clustering of ``bricks codegen`` near the diagonal is the
+paper's evidence that BrickLib mitigates programming-model differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import MetricError
+from repro.gpu.simulator import SimulationResult
+
+
+@dataclass(frozen=True)
+class CorrelationPoint:
+    """One (stencil, variant) sample of a correlation plot."""
+
+    stencil: str
+    variant: str
+    x: float
+    y: float
+
+    @property
+    def ratio(self) -> float:
+        """y / x: > 1 means the y-axis model wins (for performance)."""
+        if self.x == 0:
+            raise MetricError("correlation ratio with zero x value")
+        return self.y / self.x
+
+
+@dataclass(frozen=True)
+class CorrelationModel:
+    """A full correlation data set between two programming models."""
+
+    x_label: str  # e.g. "SYCL"
+    y_label: str  # e.g. "CUDA"
+    quantity: str  # "gflops" | "hbm_gbytes" | "l1_gbytes"
+    points: Tuple[CorrelationPoint, ...]
+
+    def above_diagonal(self) -> Tuple[CorrelationPoint, ...]:
+        """Points where the y-axis model measures higher."""
+        return tuple(p for p in self.points if p.y > p.x)
+
+    def mean_log_ratio(self, variant: str | None = None) -> float:
+        """Geometric-mean y/x ratio (optionally for one variant)."""
+        import math
+
+        pts = [p for p in self.points if variant is None or p.variant == variant]
+        if not pts:
+            raise MetricError(f"no correlation points for variant {variant!r}")
+        return math.exp(sum(math.log(p.ratio) for p in pts) / len(pts))
+
+    def diagonal_distance(self, variant: str) -> float:
+        """Mean |log(y/x)| for a variant: 0 = exactly on the diagonal.
+
+        The paper's observation "bricks codegen is closer to the
+        diagonal" is this number being smaller for bricks codegen.
+        """
+        import math
+
+        pts = [p for p in self.points if p.variant == variant]
+        if not pts:
+            raise MetricError(f"no correlation points for variant {variant!r}")
+        return sum(abs(math.log(p.ratio)) for p in pts) / len(pts)
+
+
+def correlate(
+    y_results: Sequence[SimulationResult],
+    x_results: Sequence[SimulationResult],
+    quantity: str = "gflops",
+) -> CorrelationModel:
+    """Pair results of two programming models into a correlation model.
+
+    Results are matched on (stencil, variant); both sequences must cover
+    the same set.  ``quantity`` is any float attribute of
+    :class:`SimulationResult` (``gflops``, ``hbm_gbytes``, ``l1_gbytes``).
+    """
+    def key(r: SimulationResult) -> Tuple[str, str]:
+        return (r.stencil_name, r.variant)
+
+    ymap: Dict[Tuple[str, str], SimulationResult] = {key(r): r for r in y_results}
+    xmap: Dict[Tuple[str, str], SimulationResult] = {key(r): r for r in x_results}
+    if set(ymap) != set(xmap):
+        raise MetricError(
+            "correlation inputs cover different (stencil, variant) sets: "
+            f"{sorted(set(ymap) ^ set(xmap))}"
+        )
+    if not ymap:
+        raise MetricError("correlation of empty result sets")
+    y_model = next(iter(ymap.values())).platform.profile.model
+    x_model = next(iter(xmap.values())).platform.profile.model
+    points: List[CorrelationPoint] = []
+    for k in sorted(ymap):
+        yv = getattr(ymap[k], quantity)
+        xv = getattr(xmap[k], quantity)
+        points.append(CorrelationPoint(k[0], k[1], float(xv), float(yv)))
+    return CorrelationModel(
+        x_label=x_model, y_label=y_model, quantity=quantity, points=tuple(points)
+    )

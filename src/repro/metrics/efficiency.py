@@ -1,0 +1,38 @@
+"""Efficiency definitions ``e_i(a, p)`` used by the portability metric.
+
+Two instantiations, mirroring the paper's Tables 3 and 5:
+
+* **fraction of Roofline** — achieved (normalised) FLOP/s over the
+  empirical Roofline evaluated at the kernel's *measured* arithmetic
+  intensity; assesses how well the kernel saturates the hardware given
+  the data it actually moved;
+* **fraction of theoretical AI** — measured AI over the compulsory-
+  traffic AI of Table 4; assesses data-movement optimality against an
+  infinite, fully-associative cache.
+"""
+
+from __future__ import annotations
+
+from repro.dsl.analysis import theoretical_ai
+from repro.dsl.stencil import Stencil
+from repro.gpu.simulator import SimulationResult
+from repro.roofline.mixbench import empirical_roofline
+from repro.roofline.model import Roofline
+
+
+def roofline_for(result: SimulationResult) -> Roofline:
+    """The empirical Roofline of the result's platform."""
+    return empirical_roofline(result.platform)
+
+
+def fraction_of_roofline(
+    result: SimulationResult, roofline: Roofline | None = None
+) -> float:
+    """Table 3's efficiency: achieved / attainable at measured AI."""
+    roof = roofline or roofline_for(result)
+    return roof.fraction(result.gflops * 1e9, result.arithmetic_intensity)
+
+
+def fraction_of_theoretical_ai(result: SimulationResult, stencil: Stencil) -> float:
+    """Table 5's efficiency: measured AI / compulsory-traffic AI."""
+    return result.arithmetic_intensity / theoretical_ai(stencil)

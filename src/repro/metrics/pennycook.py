@@ -1,0 +1,60 @@
+"""The Pennycook performance-portability metric (paper Section 5.2.2).
+
+For an application ``a`` solving problem ``p`` over a set of platforms
+``H``, the metric is the harmonic mean of per-platform efficiencies,
+or zero if any platform is unsupported:
+
+    P(a, p, H) = |H| / sum_i 1 / e_i(a, p)      if all i supported
+               = 0                               otherwise
+
+The paper instantiates ``e_i`` two ways — fraction of Roofline
+(Table 3) and fraction of theoretical arithmetic intensity (Table 5) —
+both provided here as efficiency callables over simulation results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.errors import MetricError
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean; raises on empty input or non-positive entries."""
+    if not values:
+        raise MetricError("harmonic mean of an empty set")
+    if any(v <= 0 for v in values):
+        raise MetricError(f"harmonic mean requires positive values, got {values}")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def performance_portability(
+    efficiencies: Mapping[str, Optional[float]],
+) -> float:
+    """Pennycook's P over a platform -> efficiency map.
+
+    ``None`` marks an unsupported platform, which zeroes the metric (the
+    definition's "otherwise" branch).  Efficiencies are fractions in
+    (0, 1+]; values above 1 are legal (a kernel can beat an empirical
+    ceiling) though unusual.
+    """
+    if not efficiencies:
+        raise MetricError("performance portability over an empty platform set")
+    vals = list(efficiencies.values())
+    if any(v is None for v in vals):
+        return 0.0
+    return harmonic_mean([float(v) for v in vals])
+
+
+def aggregate_portability(per_problem: Iterable[float]) -> float:
+    """The paper's bottom-line number: harmonic mean of per-stencil P.
+
+    Zero propagates: if any stencil is unsupported somewhere, the
+    aggregate is zero too.
+    """
+    vals = list(per_problem)
+    if not vals:
+        raise MetricError("aggregate over an empty problem set")
+    if any(v == 0.0 for v in vals):
+        return 0.0
+    return harmonic_mean(vals)

@@ -1,0 +1,69 @@
+"""Potential speed-up analysis (paper Figure 7).
+
+The paper unifies its two portability efficiencies into one plane:
+x = fraction of theoretical AI (data-movement optimality),
+y = fraction of Roofline (execution optimality).  A kernel at (x, y)
+could ideally speed up by ``1 / (x * y)`` — any mix of moving less data
+and executing closer to the roof — so iso-curves of constant ``x * y``
+are iso-potential-speed-up curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import MetricError
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    """One kernel on the potential-speed-up plane."""
+
+    label: str  # e.g. "13pt@A100-CUDA"
+    ai_fraction: float  # x: fraction of theoretical AI
+    roofline_fraction: float  # y: fraction of Roofline
+
+    def __post_init__(self) -> None:
+        if self.ai_fraction <= 0 or self.roofline_fraction <= 0:
+            raise MetricError("speed-up plane fractions must be positive")
+
+    @property
+    def potential_speedup(self) -> float:
+        """Idealised remaining speed-up: 1 / (x * y)."""
+        return 1.0 / (self.ai_fraction * self.roofline_fraction)
+
+    def band(self) -> str:
+        """The iso-curve band the paper annotates (1x / 2x / 4x / >4x)."""
+        s = self.potential_speedup
+        if s <= 2.0:
+            return "<=2x"
+        if s <= 4.0:
+            return "2x-4x"
+        return ">4x"
+
+
+def iso_curve(speedup: float, xs: Sequence[float]) -> List[Tuple[float, float]]:
+    """Sample the iso-curve ``x * y = 1 / speedup`` over ``xs``."""
+    if speedup < 1.0:
+        raise MetricError(f"potential speed-up must be >= 1, got {speedup}")
+    out = []
+    for x in xs:
+        if x <= 0:
+            raise MetricError("iso-curve x values must be positive")
+        y = 1.0 / (speedup * x)
+        if y <= 1.5:  # keep within a plottable range
+            out.append((x, y))
+    return out
+
+
+def summarize(points: Sequence[SpeedupPoint]) -> dict:
+    """Counts per iso-band plus the extreme points."""
+    if not points:
+        raise MetricError("summary of an empty speed-up set")
+    bands: dict = {"<=2x": 0, "2x-4x": 0, ">4x": 0}
+    for p in points:
+        bands[p.band()] += 1
+    best = min(points, key=lambda p: p.potential_speedup)
+    worst = max(points, key=lambda p: p.potential_speedup)
+    return {"bands": bands, "best": best, "worst": worst}

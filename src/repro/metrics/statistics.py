@@ -1,0 +1,118 @@
+"""Correlation statistics for model-vs-model comparisons.
+
+The paper introduces correlation models "as a new tool for comparing
+architectures and programming models from Roofline model data".  Beyond
+the scatter plots, these helpers quantify the relationship: Pearson
+correlation on log-scaled measurements (performance data is ratio-
+scaled), Spearman rank correlation, and a log-log least-squares fit
+whose slope says whether the gap between two models widens or narrows
+with kernel intensity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import MetricError
+from repro.metrics.correlation import CorrelationModel
+
+
+def _validate(xs: Sequence[float], ys: Sequence[float]) -> None:
+    if len(xs) != len(ys):
+        raise MetricError("correlation inputs differ in length")
+    if len(xs) < 2:
+        raise MetricError("correlation needs at least two points")
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient."""
+    _validate(xs, ys)
+    n = len(xs)
+    mx, my = sum(xs) / n, sum(ys) / n
+    sxx = sum((x - mx) ** 2 for x in xs)
+    syy = sum((y - my) ** 2 for y in ys)
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    if sxx == 0 or syy == 0:
+        raise MetricError("correlation undefined for a constant series")
+    return sxy / math.sqrt(sxx * syy)
+
+
+def _ranks(vals: Sequence[float]) -> Sequence[float]:
+    order = sorted(range(len(vals)), key=lambda i: vals[i])
+    ranks = [0.0] * len(vals)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and vals[order[j + 1]] == vals[order[i]]:
+            j += 1
+        avg = (i + j) / 2 + 1
+        for k in range(i, j + 1):
+            ranks[order[k]] = avg
+        i = j + 1
+    return ranks
+
+
+def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation (Pearson on ranks, tie-aware)."""
+    _validate(xs, ys)
+    return pearson(_ranks(xs), _ranks(ys))
+
+
+def loglog_fit(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit ``log10 y = slope * log10 x + intercept``.
+
+    Slope 1 with intercept 0 is the correlation plot's diagonal; slope
+    above 1 means the y-axis model pulls ahead as kernels get faster.
+    """
+    _validate(xs, ys)
+    if any(v <= 0 for v in xs) or any(v <= 0 for v in ys):
+        raise MetricError("log-log fit needs positive values")
+    lx = [math.log10(v) for v in xs]
+    ly = [math.log10(v) for v in ys]
+    n = len(lx)
+    mx, my = sum(lx) / n, sum(ly) / n
+    sxx = sum((v - mx) ** 2 for v in lx)
+    if sxx == 0:
+        raise MetricError("log-log fit undefined for a constant series")
+    slope = sum((a - mx) * (b - my) for a, b in zip(lx, ly)) / sxx
+    return slope, my - slope * mx
+
+
+@dataclass(frozen=True)
+class CorrelationStats:
+    """Summary statistics of one correlation model."""
+
+    pearson_log: float
+    spearman: float
+    slope: float
+    intercept: float
+    geometric_mean_ratio: float
+
+    def describe(self) -> str:
+        return (
+            f"pearson(log)={self.pearson_log:+.3f} "
+            f"spearman={self.spearman:+.3f} "
+            f"slope={self.slope:.3f} "
+            f"gm-ratio={self.geometric_mean_ratio:.2f}"
+        )
+
+
+def correlation_stats(model: CorrelationModel, variant: str | None = None) -> CorrelationStats:
+    """Statistics over a correlation model (optionally one variant)."""
+    pts = [p for p in model.points if variant is None or p.variant == variant]
+    if len(pts) < 2:
+        raise MetricError(f"not enough points for variant {variant!r}")
+    xs = [p.x for p in pts]
+    ys = [p.y for p in pts]
+    lx = [math.log10(v) for v in xs]
+    ly = [math.log10(v) for v in ys]
+    slope, intercept = loglog_fit(xs, ys)
+    return CorrelationStats(
+        pearson_log=pearson(lx, ly),
+        spearman=spearman(xs, ys),
+        slope=slope,
+        intercept=intercept,
+        geometric_mean_ratio=model.mean_log_ratio(variant),
+    )

@@ -1,0 +1,21 @@
+"""Profiler facades (Nsight Compute / rocprof / Intel Advisor roles)."""
+
+from repro.profiling.collector import (
+    INTEL_ADVISOR,
+    NSIGHT_COMPUTE,
+    ROCPROF,
+    ProfilerTool,
+    profile,
+    tool_for,
+)
+from repro.profiling.counters import KernelProfile
+
+__all__ = [
+    "INTEL_ADVISOR",
+    "KernelProfile",
+    "NSIGHT_COMPUTE",
+    "ProfilerTool",
+    "ROCPROF",
+    "profile",
+    "tool_for",
+]

@@ -1,0 +1,62 @@
+"""Profiler facades: the per-vendor tools of the paper's Section 4.2.
+
+Each collector mimics the role of its real counterpart — Nsight Compute
+CLI on NVIDIA, rocprof/Omniperf on AMD, Intel Advisor on Intel — by
+extracting the same counter set from a :class:`SimulationResult`.  The
+paper's FLOP-normalisation policy (use the *minimum* FLOP count for all
+kernels of a stencil, Section 4.4) is applied here, exactly where the
+authors applied it: at profile-collection time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.gpu.simulator import SimulationResult
+from repro.profiling.counters import KernelProfile
+
+
+@dataclass(frozen=True)
+class ProfilerTool:
+    """A named profiling tool bound to one vendor."""
+
+    name: str
+    vendor: str
+
+    def collect(self, result: SimulationResult) -> KernelProfile:
+        """Extract the paper's counter set from a simulated kernel run."""
+        if result.platform.arch.vendor != self.vendor:
+            raise SimulationError(
+                f"{self.name} profiles {self.vendor} GPUs, not "
+                f"{result.platform.arch.vendor}"
+            )
+        return KernelProfile(
+            kernel=f"{result.stencil_name}/{result.variant}",
+            platform=result.platform.name,
+            flops=result.flops,
+            hbm_bytes=result.traffic.hbm_total_bytes,
+            l1_bytes=result.traffic.l1_bytes,
+            time_s=result.time_s,
+        )
+
+
+NSIGHT_COMPUTE = ProfilerTool(name="Nsight Compute CLI", vendor="NVIDIA")
+ROCPROF = ProfilerTool(name="rocprof/Omniperf", vendor="AMD")
+INTEL_ADVISOR = ProfilerTool(name="Intel Advisor", vendor="Intel")
+
+_BY_VENDOR = {t.vendor: t for t in (NSIGHT_COMPUTE, ROCPROF, INTEL_ADVISOR)}
+
+
+def tool_for(vendor: str) -> ProfilerTool:
+    """The study's profiler for a GPU vendor."""
+    if vendor not in _BY_VENDOR:
+        raise SimulationError(
+            f"no profiler for vendor '{vendor}'; known: {sorted(_BY_VENDOR)}"
+        )
+    return _BY_VENDOR[vendor]
+
+
+def profile(result: SimulationResult) -> KernelProfile:
+    """Collect a profile with the appropriate vendor tool."""
+    return tool_for(result.platform.arch.vendor).collect(result)

@@ -1,0 +1,55 @@
+"""Kernel profiles: the counter set the paper's profilers report.
+
+The study collects FLOP count, bytes moved, and kernel time via NVIDIA
+Nsight Compute, AMD rocprof/Omniperf, and Intel Advisor (paper
+Section 4.2/4.4).  :class:`KernelProfile` is the common denominator of
+those tools, plus the derived quantities every figure uses.  FLOPs are
+*normalised* to the minimum count (Section 4.4) so arithmetic intensity
+differences reflect data movement only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MetricError
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Profiler counters for one kernel sweep."""
+
+    kernel: str  # e.g. "13pt/bricks_codegen"
+    platform: str  # e.g. "A100-CUDA"
+    flops: int  # normalised FLOP count
+    hbm_bytes: float
+    l1_bytes: float
+    time_s: float
+
+    def __post_init__(self) -> None:
+        if self.flops <= 0 or self.hbm_bytes <= 0 or self.time_s <= 0:
+            raise MetricError("profile counters must be positive")
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOP per HBM byte (the Roofline x-axis)."""
+        return self.flops / self.hbm_bytes
+
+    @property
+    def gflops(self) -> float:
+        """Normalised GFLOP/s (the Roofline y-axis)."""
+        return self.flops / self.time_s / 1e9
+
+    @property
+    def hbm_bandwidth(self) -> float:
+        """Achieved HBM bandwidth, bytes/s."""
+        return self.hbm_bytes / self.time_s
+
+    def row(self) -> str:
+        """One formatted report line (profiler-CLI style)."""
+        return (
+            f"{self.kernel:>28} {self.platform:>12} "
+            f"{self.time_s * 1e3:9.3f} ms  {self.gflops:9.1f} GF/s  "
+            f"AI {self.arithmetic_intensity:7.3f}  "
+            f"HBM {self.hbm_bytes / 1e9:6.2f} GB  L1 {self.l1_bytes / 1e9:8.2f} GB"
+        )

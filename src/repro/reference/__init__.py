@@ -1,0 +1,12 @@
+"""Reference (oracle) implementations and small PDE solvers for examples."""
+
+from repro.reference.naive import apply_interior, apply_periodic, random_field
+from repro.reference.solvers import HeatSolver, WaveSolver
+
+__all__ = [
+    "HeatSolver",
+    "WaveSolver",
+    "apply_interior",
+    "apply_periodic",
+    "random_field",
+]

@@ -1,0 +1,6 @@
+"""Roofline model and empirical-ceiling derivation (mixbench-style)."""
+
+from repro.roofline.mixbench import MixbenchPoint, empirical_roofline, sweep
+from repro.roofline.model import Roofline
+
+__all__ = ["MixbenchPoint", "Roofline", "empirical_roofline", "sweep"]

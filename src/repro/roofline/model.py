@@ -1,0 +1,51 @@
+"""The Roofline model (Williams, Waterman & Patterson 2009).
+
+Performance is bounded by ``min(peak_flops, AI * peak_bandwidth)``.  The
+paper evaluates every kernel against *empirical* ceilings derived from
+the mixbench microbenchmark (NVIDIA/AMD) or Intel Advisor (PVC); see
+:mod:`repro.roofline.mixbench` for how those are obtained here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.errors import MetricError
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """A two-ceiling Roofline: bandwidth slope + compute plateau."""
+
+    name: str
+    peak_flops: float  # FLOP/s ceiling
+    peak_bw: float  # bytes/s ceiling
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.peak_bw <= 0:
+            raise MetricError("Roofline ceilings must be positive")
+
+    @property
+    def ridge_point(self) -> float:
+        """AI (FLOP/byte) where the bandwidth slope meets the plateau."""
+        return self.peak_flops / self.peak_bw
+
+    def attainable(self, ai: float) -> float:
+        """Attainable FLOP/s at arithmetic intensity ``ai``."""
+        if ai <= 0:
+            raise MetricError(f"arithmetic intensity must be positive, got {ai}")
+        return min(self.peak_flops, ai * self.peak_bw)
+
+    def fraction(self, flops_per_s: float, ai: float) -> float:
+        """Fraction of the Roofline achieved at ``ai``."""
+        if flops_per_s < 0:
+            raise MetricError("performance must be non-negative")
+        return flops_per_s / self.attainable(ai)
+
+    def is_memory_bound(self, ai: float) -> bool:
+        return ai < self.ridge_point
+
+    def curve(self, ais: Iterable[float]) -> List[Tuple[float, float]]:
+        """(AI, attainable FLOP/s) samples for plotting the roof."""
+        return [(ai, self.attainable(ai)) for ai in ais]

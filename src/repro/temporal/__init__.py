@@ -1,0 +1,20 @@
+"""Temporal blocking: stencil composition, fused sweeps, depth model.
+
+An extension beyond the paper's single-sweep evaluation, covering the
+optimisation family its related-work section surveys (time skewing,
+wavefront, cache-oblivious temporal tiling).
+"""
+
+from repro.temporal.compose import compose, power
+from repro.temporal.fuse import fused_apply, fused_sweep
+from repro.temporal.model import FusionEstimate, fusion_estimate, optimal_depth
+
+__all__ = [
+    "FusionEstimate",
+    "compose",
+    "fused_apply",
+    "fused_sweep",
+    "fusion_estimate",
+    "optimal_depth",
+    "power",
+]

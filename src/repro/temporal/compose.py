@@ -1,0 +1,56 @@
+"""Stencil composition: the algebra behind temporal blocking.
+
+Applying stencil ``A`` and then stencil ``B`` is itself a linear
+constant-coefficient stencil whose taps are the *convolution* of the two
+tap sets (radius ``r_A + r_B``).  Temporal blocking (time skewing,
+wavefront — the optimisation family of the paper's related work
+[32, 53, 58]) exploits exactly this: ``s`` fused steps trade one sweep
+of a wider stencil (more FLOPs, wider halo) for ``s`` memory sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.dsl.coeffs import Coeff
+from repro.dsl.stencil import Offset, Stencil
+from repro.errors import DSLError
+
+
+def compose(second: Stencil, first: Stencil) -> Stencil:
+    """The stencil equivalent to applying ``first`` then ``second``.
+
+    Tap weights convolve; symbolic coefficients multiply symbolically
+    (e.g. composing two ``B0/B1`` stencils yields ``B0*B0``, ``B0*B1``
+    ... terms), so bindings for the original symbols still evaluate the
+    composition correctly.
+    """
+    if second.ndim != first.ndim:
+        raise DSLError(
+            f"cannot compose {second.ndim}-D with {first.ndim}-D stencils"
+        )
+    taps: Dict[Offset, Coeff] = {}
+    for off2, c2 in second.taps.items():
+        for off1, c1 in first.taps.items():
+            off = tuple(a + b for a, b in zip(off2, off1))
+            prod = c2 * c1
+            taps[off] = taps[off] + prod if off in taps else prod
+    taps = {o: c for o, c in taps.items() if not c.is_zero()}
+    if not taps:
+        raise DSLError("composition annihilated every tap")
+    return Stencil(
+        output=second.output,
+        input=first.input,
+        ndim=first.ndim,
+        taps=taps,
+    )
+
+
+def power(stencil: Stencil, steps: int) -> Stencil:
+    """The stencil equivalent to ``steps`` repeated applications."""
+    if steps < 1:
+        raise DSLError(f"steps must be >= 1, got {steps}")
+    out = stencil
+    for _ in range(steps - 1):
+        out = compose(stencil, out)
+    return out

@@ -1,0 +1,96 @@
+"""Analytic trade-off model for temporal blocking depth.
+
+Fusing ``s`` steps divides the per-step HBM traffic by ~``s`` (one read
++ one write amortised over ``s`` applications) but multiplies per-step
+FLOPs by the redundant-trapezoid factor — the volume ratio of the
+expanding halo pyramid to the tile.  The optimal depth is where the
+kernel crosses from memory- to compute-bound; for low-AI stencils on
+bandwidth-starved machines that is deep, for the 125pt cube it is 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.dsl.analysis import FP64_BYTES
+from repro.dsl.stencil import Stencil
+from repro.errors import SimulationError
+from repro.gpu.progmodel import Platform
+from repro.util import prod
+
+
+@dataclass(frozen=True)
+class FusionEstimate:
+    """Per-step costs of a fused sweep at depth ``steps``."""
+
+    steps: int
+    hbm_bytes_per_step: float
+    flops_per_step: float
+    redundancy: float  # ratio of executed to useful FLOPs
+    time_per_step_s: float
+
+
+def fusion_estimate(
+    stencil: Stencil,
+    platform: Platform,
+    steps: int,
+    tile: Tuple[int, int, int] = (32, 8, 8),  # dim order
+    domain: Tuple[int, int, int] = (512, 512, 512),
+) -> FusionEstimate:
+    """Model one fused sweep of depth ``steps`` (per time-step costs)."""
+    if steps < 1:
+        raise SimulationError(f"steps must be >= 1, got {steps}")
+    r = stencil.radius
+    if steps * r >= min(tile):
+        raise SimulationError(
+            f"{steps} fused steps of radius {r} exceed tile {tile}"
+        )
+    n = prod(domain)
+    ntiles = n // prod(tile)
+    # Traffic: read tile+halo once, write tile once, amortised over steps.
+    halo_vol = prod(t + 2 * steps * r for t in tile)
+    read_bytes = ntiles * halo_vol * FP64_BYTES
+    write_bytes = n * FP64_BYTES
+    hbm_per_step = (read_bytes + write_bytes) / steps
+    # Compute: the trapezoid shrinks by r per step; executed points at
+    # step q (counting from the widest) cover tile + 2r(steps - q).
+    flops_pp = stencil.flops_per_point(minimal=True)
+    executed = sum(
+        prod(t + 2 * r * (steps - q) for t in tile) for q in range(1, steps + 1)
+    )
+    flops_total = ntiles * executed * flops_pp
+    flops_per_step = flops_total / steps
+    redundancy = executed / (steps * prod(tile))
+    # Bottleneck time per step at the platform's bricks-codegen
+    # efficiencies.
+    prof = platform.profile
+    vp = prof.variant("bricks_codegen")
+    bw = platform.arch.hbm_bw * prof.mixbench_bw_frac * vp.bw_frac
+    fp = platform.arch.peak_fp64 * prof.mixbench_fp_frac * vp.fp_eff
+    t = max(hbm_per_step / bw, flops_per_step / fp)
+    return FusionEstimate(
+        steps=steps,
+        hbm_bytes_per_step=hbm_per_step,
+        flops_per_step=flops_per_step,
+        redundancy=redundancy,
+        time_per_step_s=t,
+    )
+
+
+def optimal_depth(
+    stencil: Stencil,
+    platform: Platform,
+    max_steps: int = 8,
+    tile: Tuple[int, int, int] = (32, 8, 8),
+) -> Tuple[int, Tuple[FusionEstimate, ...]]:
+    """Best fusion depth (by modelled per-step time) and the whole sweep."""
+    ests = []
+    for s in range(1, max_steps + 1):
+        if s * stencil.radius >= min(tile):
+            break
+        ests.append(fusion_estimate(stencil, platform, s, tile))
+    if not ests:
+        raise SimulationError("no feasible fusion depth for this tile")
+    best = min(ests, key=lambda e: e.time_per_step_s)
+    return best.steps, tuple(ests)

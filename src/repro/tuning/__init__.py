@@ -1,0 +1,6 @@
+"""Autotuning of brick dimension, vector length, strategy, and ordering."""
+
+from repro.tuning.search import Autotuner, TuningOutcome
+from repro.tuning.space import TuningPoint, TuningSpace
+
+__all__ = ["Autotuner", "TuningOutcome", "TuningPoint", "TuningSpace"]

@@ -1,0 +1,94 @@
+"""Exhaustive (and pruned) autotuning search over the tuning space.
+
+The objective is the simulator's predicted sweep time — the same role
+real BrickLib autotuning plays with on-device timings.  Results are
+memoised per (stencil, platform, domain) so repeated tuning calls are
+free, mirroring a persisted autotuning database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.dsl.stencil import Stencil
+from repro.errors import SimulationError
+from repro.gpu.progmodel import Platform
+from repro.gpu.simulator import SimulationResult, simulate
+from repro.tuning.space import TuningPoint, TuningSpace
+
+
+@dataclass(frozen=True)
+class TuningOutcome:
+    """Best configuration found plus the full ranking."""
+
+    best: TuningPoint
+    best_result: SimulationResult
+    ranking: Tuple[Tuple[TuningPoint, float], ...]  # (point, time_s), sorted
+
+    @property
+    def best_time_s(self) -> float:
+        return self.best_result.time_s
+
+    def speedup_over(self, point: TuningPoint) -> float:
+        """How much faster the winner is than a given configuration."""
+        for p, t in self.ranking:
+            if p == point:
+                return t / self.best_time_s
+        raise SimulationError(f"{point.label()} was not in the tuned set")
+
+
+@dataclass
+class Autotuner:
+    """Grid-search tuner with a result cache."""
+
+    space: TuningSpace = field(default_factory=TuningSpace)
+    variant: str = "bricks_codegen"
+    _cache: Dict[Tuple, TuningOutcome] = field(default_factory=dict)
+
+    def tune(
+        self,
+        stencil: Stencil,
+        platform: Platform,
+        domain: Tuple[int, int, int] = (512, 512, 512),
+        stencil_name: str | None = None,
+    ) -> TuningOutcome:
+        key = (
+            stencil.offsets(),
+            tuple(sorted(c.key() for c in stencil.taps.values())),
+            platform.name,
+            domain,
+            self.variant,
+        )
+        if key in self._cache:
+            return self._cache[key]
+        ranked: List[Tuple[TuningPoint, float, SimulationResult]] = []
+        for point in self.space.candidates(
+            platform.arch.simd_width, stencil.radius, domain
+        ):
+            res = simulate(
+                stencil,
+                self.variant,
+                platform,
+                domain=domain,
+                stencil_name=stencil_name,
+                dims=point.brick_dims(),
+                vector_length=point.vector_length,
+            )
+            ranked.append((point, res.time_s, res))
+        if not ranked:
+            raise SimulationError(
+                f"tuning space is empty for radius {stencil.radius} on "
+                f"{platform.name} with domain {domain}"
+            )
+        ranked.sort(key=lambda t: (t[1], t[0].label()))
+        outcome = TuningOutcome(
+            best=ranked[0][0],
+            best_result=ranked[0][2],
+            ranking=tuple((p, t) for p, t, _ in ranked),
+        )
+        self._cache[key] = outcome
+        return outcome
+
+    def cache_size(self) -> int:
+        return len(self._cache)

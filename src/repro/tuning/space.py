@@ -1,0 +1,71 @@
+"""Autotuning search space.
+
+BrickLib "with the addition of autotuning for brick dimension, layout,
+and ordering ... demonstrates some level of performance portability"
+(paper Section 3).  The search space here covers exactly those axes:
+brick/tile extents, vector length, codegen strategy, and brick ordering.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple
+
+from repro.bricks.decomposition import ORDERINGS
+from repro.bricks.layout import BrickDims
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class TuningPoint:
+    """One candidate configuration."""
+
+    dims: Tuple[int, int, int]  # (bi, bj, bk), dim order
+    vector_length: int
+    strategy: str  # gather | scatter | auto
+    ordering: str = "lex"
+
+    def brick_dims(self) -> BrickDims:
+        return BrickDims(self.dims)
+
+    def label(self) -> str:
+        return (f"{self.dims[0]}x{self.dims[1]}x{self.dims[2]}"
+                f"/vl{self.vector_length}/{self.strategy}/{self.ordering}")
+
+
+@dataclass(frozen=True)
+class TuningSpace:
+    """Cartesian candidate space, filtered for validity per stencil."""
+
+    i_extents: Tuple[int, ...] = (16, 32, 64, 128)
+    jk_extents: Tuple[int, ...] = (4, 8)
+    strategies: Tuple[str, ...] = ("gather", "scatter")
+    orderings: Tuple[str, ...] = ORDERINGS
+    #: None -> use the platform's SIMD width when it divides the brick.
+    vector_lengths: Tuple[int, ...] = ()
+
+    def candidates(
+        self, simd_width: int, radius: int, domain: Tuple[int, int, int]
+    ) -> Iterator[TuningPoint]:
+        """Valid points for a stencil radius and domain (dim order)."""
+        if radius < 1:
+            raise SimulationError(f"radius must be >= 1, got {radius}")
+        vls = self.vector_lengths or (simd_width,)
+        for bi, bj, bk, strategy, ordering, vl in itertools.product(
+            self.i_extents, self.jk_extents, self.jk_extents,
+            self.strategies, self.orderings, vls,
+        ):
+            if min(bi, bj, bk) < radius:
+                continue  # adjacency cannot cover the halo
+            if bi % vl and vl % bi:
+                continue
+            eff_vl = vl if bi % vl == 0 else bi
+            if radius >= eff_vl:
+                continue
+            if any(d % b for d, b in zip(domain, (bi, bj, bk))):
+                continue  # domain not tileable
+            yield TuningPoint((bi, bj, bk), eff_vl, strategy, ordering)
+
+    def size(self, simd_width: int, radius: int, domain: Tuple[int, int, int]) -> int:
+        return sum(1 for _ in self.candidates(simd_width, radius, domain))

@@ -1,0 +1,89 @@
+"""Unit tests for brick adjacency (BrickInfo)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.bricks import (
+    NO_NEIGHBOR,
+    BrickDims,
+    BrickGrid,
+    BrickInfo,
+    neighbor_deltas,
+    neighbor_index,
+)
+from repro.errors import LayoutError
+
+
+def small_grid(ordering="lex"):
+    return BrickGrid((32, 8, 8), BrickDims((16, 4, 4)), ordering)
+
+
+class TestNeighborIndexing:
+    def test_center_index(self):
+        # All-zero delta must land in the middle column.
+        assert neighbor_index((0, 0, 0)) == 13
+
+    def test_indices_are_bijective(self):
+        idxs = {neighbor_index(d) for d in itertools.product((-1, 0, 1), repeat=3)}
+        assert idxs == set(range(27))
+
+    def test_deltas_order_matches_index(self):
+        for col, delta in enumerate(neighbor_deltas(3)):
+            assert neighbor_index(delta) == col
+
+    def test_bad_delta(self):
+        with pytest.raises(LayoutError):
+            neighbor_index((2, 0, 0))
+
+
+class TestBrickInfo:
+    @pytest.mark.parametrize("ordering", ["lex", "morton"])
+    def test_adjacency_matches_geometry(self, ordering):
+        g = small_grid(ordering)
+        info = BrickInfo(g)
+        for coords in g.interior_coords():
+            bid = g.brick_id(coords)
+            for delta in neighbor_deltas(3):
+                ncoords = tuple(c + d for c, d in zip(coords, delta))
+                assert info.neighbor(bid, delta) == g.brick_id(ncoords)
+
+    def test_center_column_is_self(self):
+        g = small_grid()
+        info = BrickInfo(g)
+        assert np.array_equal(
+            info.adjacency[:, neighbor_index((0, 0, 0))],
+            np.arange(g.num_bricks),
+        )
+
+    def test_interior_bricks_have_all_neighbors(self):
+        g = small_grid()
+        info = BrickInfo(g)
+        interior = info.interior_ids()
+        assert np.all(info.adjacency[interior] >= 0)
+
+    def test_outermost_ghosts_miss_neighbors(self):
+        g = small_grid()
+        info = BrickInfo(g)
+        corner = g.brick_id((0, 0, 0))
+        assert info.neighbor(corner, (-1, -1, -1)) == NO_NEIGHBOR
+        assert info.neighbor(corner, (1, 1, 1)) >= 0
+
+    def test_adjacency_symmetry(self):
+        # If a is b's neighbour at delta, b is a's neighbour at -delta.
+        g = small_grid("morton")
+        info = BrickInfo(g)
+        for coords in g.interior_coords():
+            a = g.brick_id(coords)
+            for delta in ((1, 0, 0), (0, 1, 0), (0, 0, 1), (1, 1, -1)):
+                b = info.neighbor(a, delta)
+                back = info.neighbor(b, tuple(-d for d in delta))
+                assert back == a
+
+    def test_interior_ids_order_matches_interior_coords(self):
+        g = small_grid()
+        info = BrickInfo(g)
+        ids = info.interior_ids()
+        expected = [g.brick_id(c) for c in g.interior_coords()]
+        assert list(ids) == expected

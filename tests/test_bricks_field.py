@@ -1,0 +1,134 @@
+"""Unit and property tests for BrickedField (storage + conversion + gather)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bricks import BrickDims, BrickGrid, BrickedField
+from repro.errors import LayoutError
+from repro.reference import random_field
+
+
+def ghosted_shape(extents, dims):
+    """Numpy shape of a ghosted dense field (dim order args)."""
+    return tuple(reversed([e + 2 * d for e, d in zip(extents, dims)]))
+
+
+def make_field(extents=(32, 8, 8), dims=(16, 4, 4), ordering="lex", seed=0):
+    dense = random_field(ghosted_shape(extents, dims), seed=seed)
+    return dense, BrickedField.from_dense(dense, BrickDims(dims), ordering)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("ordering", ["lex", "morton"])
+    def test_dense_roundtrip_with_ghosts(self, ordering):
+        dense, f = make_field(ordering=ordering)
+        assert np.array_equal(f.to_dense(include_ghosts=True), dense)
+
+    def test_dense_roundtrip_interior(self):
+        dense, f = make_field()
+        bk, bj, bi = (4, 4, 16)
+        interior = dense[bk:-bk, bj:-bj, bi:-bi]
+        assert np.array_equal(f.to_dense(), interior)
+
+    def test_wrong_shape_rejected(self):
+        _, f = make_field()
+        with pytest.raises(LayoutError):
+            f.load_dense(np.zeros((8, 8, 8)))
+
+    def test_non_divisible_dense_rejected(self):
+        with pytest.raises(LayoutError):
+            BrickedField.from_dense(np.zeros((17, 12, 48)), BrickDims((16, 4, 4)))
+
+    def test_too_few_bricks_rejected(self):
+        # Only 2 bricks per dim: no room for interior + 2 ghosts.
+        with pytest.raises(LayoutError):
+            BrickedField.from_dense(np.zeros((8, 8, 32)), BrickDims((16, 4, 4)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        bi=st.sampled_from([4, 8, 16]),
+        bjk=st.sampled_from([2, 4]),
+        ni=st.integers(1, 3),
+        nj=st.integers(1, 3),
+        nk=st.integers(1, 2),
+        ordering=st.sampled_from(["lex", "morton"]),
+        seed=st.integers(0, 10),
+    )
+    def test_roundtrip_property(self, bi, bjk, ni, nj, nk, ordering, seed):
+        dims = (bi, bjk, bjk)
+        extents = (ni * bi, nj * bjk, nk * bjk)
+        dense = random_field(ghosted_shape(extents, dims), seed=seed)
+        f = BrickedField.from_dense(dense, BrickDims(dims), ordering)
+        assert np.array_equal(f.to_dense(include_ghosts=True), dense)
+
+
+class TestElementAccess:
+    def test_get_matches_dense(self):
+        dense, f = make_field()
+        # Global interior point (i, j, k) = (5, 2, 7) -> ghosted dense
+        # index [k + bk, j + bj, i + bi].
+        assert f.get((5, 2, 7)) == dense[7 + 4, 2 + 4, 5 + 16]
+
+    def test_get_reaches_ghosts(self):
+        dense, f = make_field()
+        assert f.get((-1, 0, 0)) == dense[4, 4, 15]
+
+    def test_set_then_get(self):
+        _, f = make_field()
+        f.set((3, 1, 2), 42.0)
+        assert f.get((3, 1, 2)) == 42.0
+
+    def test_set_visible_in_dense(self):
+        _, f = make_field()
+        f.set((0, 0, 0), 7.5)
+        assert f.to_dense()[0, 0, 0] == 7.5
+
+
+class TestGather:
+    @pytest.mark.parametrize("radius", [1, 2, 4])
+    @pytest.mark.parametrize("ordering", ["lex", "morton"])
+    def test_gather_matches_dense_window(self, radius, ordering):
+        dense, f = make_field(ordering=ordering)
+        ids = f.info.interior_ids()
+        blocks = f.gather_neighborhoods(ids, radius)
+        bk, bj, bi = f.grid.dims.shape
+        assert blocks.shape == (
+            len(ids),
+            bk + 2 * radius,
+            bj + 2 * radius,
+            bi + 2 * radius,
+        )
+        # Check one specific brick against the ghosted dense field.
+        for n, coords in enumerate(f.grid.interior_coords()):
+            if n not in (0, len(ids) - 1, len(ids) // 2):
+                continue
+            # Origin of this brick in the ghosted dense array:
+            ok = (coords[2]) * bk
+            oj = (coords[1]) * bj
+            oi = (coords[0]) * bi
+            window = dense[
+                ok - radius : ok + bk + radius,
+                oj - radius : oj + bj + radius,
+                oi - radius : oi + bi + radius,
+            ]
+            assert np.array_equal(blocks[n], window)
+
+    def test_gather_rejects_large_radius(self):
+        _, f = make_field()
+        with pytest.raises(LayoutError):
+            f.gather_neighborhoods(f.info.interior_ids(), 5)
+
+    def test_gather_rejects_ghost_bricks(self):
+        _, f = make_field()
+        ghost = np.array([f.grid.brick_id((0, 0, 0))])
+        with pytest.raises(LayoutError):
+            f.gather_neighborhoods(ghost, 1)
+
+    def test_copy_is_independent(self):
+        _, f = make_field()
+        g = f.copy()
+        g.set((0, 0, 0), -1.0)
+        assert f.get((0, 0, 0)) != -1.0 or f.get((0, 0, 0)) == f.get((0, 0, 0))
+        assert not np.shares_memory(f.data, g.data)

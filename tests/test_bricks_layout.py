@@ -1,0 +1,122 @@
+"""Unit tests for brick dimensions, folds, and the domain decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.bricks import ORDERINGS, BrickDims, BrickGrid, VectorFold
+from repro.errors import LayoutError
+
+
+class TestBrickDims:
+    def test_paper_bricks_per_architecture(self):
+        assert BrickDims.for_architecture("A100").dims == (32, 4, 4)
+        assert BrickDims.for_architecture("MI250X").dims == (64, 4, 4)
+        assert BrickDims.for_architecture("PVC").dims == (16, 4, 4)
+
+    def test_unknown_architecture(self):
+        with pytest.raises(LayoutError):
+            BrickDims.for_architecture("H100")
+
+    def test_volume_and_shape(self):
+        d = BrickDims((32, 4, 4))
+        assert d.volume == 512
+        assert d.shape == (4, 4, 32)  # numpy order: k, j, i
+
+    def test_invalid_extents(self):
+        with pytest.raises(LayoutError):
+            BrickDims((0, 4, 4))
+        with pytest.raises(LayoutError):
+            BrickDims(())
+
+    def test_check_radius(self):
+        d = BrickDims((32, 4, 4))
+        d.check_radius(4)  # paper's largest stencil radius fits
+        with pytest.raises(LayoutError):
+            d.check_radius(5)
+
+
+class TestVectorFold:
+    def test_vector_length(self):
+        assert VectorFold((32, 1, 1)).vector_length == 32
+        assert VectorFold((8, 4, 1)).vector_length == 32
+
+    def test_contiguous_factory(self):
+        f = VectorFold.contiguous(64)
+        assert f.fold == (64, 1, 1)
+        assert f.vector_length == 64
+
+    def test_validate_against(self):
+        d = BrickDims((32, 4, 4))
+        VectorFold((32, 1, 1)).validate_against(d)
+        VectorFold((16, 2, 1)).validate_against(d)
+        with pytest.raises(LayoutError):
+            VectorFold((3, 1, 1)).validate_against(d)  # 3 does not divide 32
+        with pytest.raises(LayoutError):
+            VectorFold((32, 1)).validate_against(d)  # rank mismatch
+
+
+class TestBrickGrid:
+    def test_counts(self):
+        g = BrickGrid((64, 16, 8), BrickDims((16, 4, 4)))
+        assert g.interior_bricks_per_dim == (4, 4, 2)
+        assert g.grid_per_dim == (6, 6, 4)
+        assert g.num_interior_bricks == 32
+        assert g.num_bricks == 144
+
+    def test_non_divisible_rejected(self):
+        with pytest.raises(LayoutError):
+            BrickGrid((30, 16, 8), BrickDims((16, 4, 4)))
+
+    def test_ids_are_a_permutation(self):
+        for ordering in ORDERINGS:
+            g = BrickGrid((32, 8, 8), BrickDims((16, 4, 4)), ordering)
+            ids = np.sort(g.id_grid().reshape(-1))
+            assert np.array_equal(ids, np.arange(g.num_bricks))
+
+    def test_orderings_differ(self):
+        lex = BrickGrid((32, 8, 8), BrickDims((16, 4, 4)), "lex")
+        mor = BrickGrid((32, 8, 8), BrickDims((16, 4, 4)), "morton")
+        assert not np.array_equal(lex.id_grid(), mor.id_grid())
+
+    def test_unknown_ordering(self):
+        with pytest.raises(LayoutError):
+            BrickGrid((32, 8, 8), BrickDims((16, 4, 4)), "hilbert")
+
+    def test_ghost_detection(self):
+        g = BrickGrid((32, 8, 8), BrickDims((16, 4, 4)))
+        assert g.is_ghost((0, 1, 1))
+        assert g.is_ghost((1, 3, 1))  # j grid extent is 4 -> index 3 is ghost
+        assert not g.is_ghost((1, 1, 1))
+
+    def test_interior_coords_are_interior(self):
+        g = BrickGrid((32, 8, 8), BrickDims((16, 4, 4)))
+        coords = list(g.interior_coords())
+        assert len(coords) == g.num_interior_bricks
+        assert len(set(coords)) == len(coords)
+        assert all(not g.is_ghost(c) for c in coords)
+
+    def test_point_to_brick_interior(self):
+        g = BrickGrid((32, 8, 8), BrickDims((16, 4, 4)))
+        brick, local = g.point_to_brick((17, 3, 0))
+        assert brick == (2, 1, 1)
+        assert local == (1, 3, 0)
+
+    def test_point_to_brick_ghost(self):
+        g = BrickGrid((32, 8, 8), BrickDims((16, 4, 4)))
+        brick, local = g.point_to_brick((-1, 0, 0))
+        assert brick == (0, 1, 1)
+        assert local == (15, 0, 0)
+        brick, _ = g.point_to_brick((32, 0, 0))
+        assert brick == (3, 1, 1)
+
+    def test_point_outside_ghosts_rejected(self):
+        g = BrickGrid((32, 8, 8), BrickDims((16, 4, 4)))
+        with pytest.raises(LayoutError):
+            g.point_to_brick((-17, 0, 0))
+        with pytest.raises(LayoutError):
+            g.point_to_brick((0, 12, 0))
+
+    def test_brick_id_bounds(self):
+        g = BrickGrid((32, 8, 8), BrickDims((16, 4, 4)))
+        with pytest.raises(LayoutError):
+            g.brick_id((6, 0, 0))

@@ -1,0 +1,168 @@
+"""Structural tests for generated vector programs."""
+
+import pytest
+
+from repro.bricks import BrickDims
+from repro.codegen import CodegenOptions, cost_of, generate
+from repro.codegen.vector_ir import Load, Shift
+from repro.dsl import by_name, cube, star
+from repro.errors import CodegenError
+
+DIMS = BrickDims((16, 4, 4))  # bi=16, bj=4, bk=4
+
+
+def gen(stencil, strategy, vl=16, dims=DIMS, reuse=True):
+    return generate(stencil, dims, CodegenOptions(vl, strategy, reuse))
+
+
+class TestOptions:
+    def test_bad_strategy(self):
+        with pytest.raises(CodegenError):
+            CodegenOptions(16, "magic")
+
+    def test_bad_vl(self):
+        with pytest.raises(CodegenError):
+            CodegenOptions(1)
+
+    def test_vl_must_divide_extent(self):
+        with pytest.raises(CodegenError, match="divide"):
+            generate(star(1), DIMS, CodegenOptions(12, "naive"))
+
+    def test_radius_must_fit_brick(self):
+        with pytest.raises(Exception):
+            generate(star(3), BrickDims((16, 2, 2)), CodegenOptions(16, "naive"))
+
+    def test_radius_must_be_below_vl(self):
+        with pytest.raises(CodegenError, match="radius"):
+            generate(star(3), BrickDims((4, 4, 4)), CodegenOptions(2, "naive"))
+
+
+class TestNaive:
+    def test_load_count_is_taps_times_outputs(self):
+        s = star(2)
+        prog = gen(s, "naive")
+        loads = [op for op in prog.ops if isinstance(op, Load)]
+        # 4*4 rows, 1 vector each, 13 taps.
+        assert len(loads) == 16 * s.points
+
+    def test_no_shuffles(self):
+        prog = gen(star(2), "naive")
+        assert not any(isinstance(op, Shift) for op in prog.ops)
+
+    def test_unaligned_loads_present(self):
+        c = cost_of(gen(star(2), "naive"))
+        # Taps with oi != 0: 4 of 13 -> 4 unaligned loads per output vector.
+        assert c.loads_unaligned == 16 * 4
+        assert c.loads_aligned == 16 * 9
+
+    def test_validates(self):
+        for s in (star(1), star(4), cube(1), cube(2)):
+            gen(s, "naive").validate()
+
+
+class TestGather:
+    def test_each_row_loaded_once_with_reuse(self):
+        s = star(2)
+        prog = gen(s, "gather")
+        loads = [op for op in prog.ops if isinstance(op, Load) and op.kind == "aligned"]
+        rows = {(op.k, op.j) for op in loads}
+        assert len(loads) == len(rows)  # no duplicate row loads
+
+    def test_reuse_reduces_loads(self):
+        s = cube(2)
+        with_reuse = cost_of(gen(s, "gather", reuse=True))
+        without = cost_of(gen(s, "gather", reuse=False))
+        assert with_reuse.loads_total < without.loads_total
+
+    def test_shuffles_replace_unaligned(self):
+        c = cost_of(gen(star(2), "gather"))
+        assert c.loads_unaligned == 0
+        assert c.shuffles > 0
+
+    def test_star_loads_cross_region_only(self):
+        # Star taps never need rows with both oj != 0 and ok != 0.
+        prog = gen(star(2), "gather")
+        for op in prog.ops:
+            if isinstance(op, Load):
+                out_k = any(0 <= op.k - ok < 4 for ok in range(-2, 3))
+                assert out_k  # every loaded row is within k-halo
+
+
+class TestScatter:
+    def test_each_row_loaded_once(self):
+        s = cube(2)
+        prog = gen(s, "scatter")
+        loads = [op for op in prog.ops if isinstance(op, Load) and op.kind == "aligned"]
+        rows = {(op.k, op.j) for op in loads}
+        assert len(loads) == len(rows)
+
+    def test_cube_loads_full_halo_rows(self):
+        prog = gen(cube(1), "scatter")
+        loads = {(op.k, op.j) for op in prog.ops if isinstance(op, Load) and op.kind == "aligned"}
+        assert loads == {(k, j) for k in range(-1, 5) for j in range(-1, 5)}
+
+    def test_star_skips_corner_rows(self):
+        prog = gen(star(2), "scatter")
+        loads = {(op.k, op.j) for op in prog.ops if isinstance(op, Load) and op.kind == "aligned"}
+        assert (-2, -2) not in loads  # corner row contributes to no star output
+        assert (-2, 0) in loads
+
+    def test_mac_count_equals_taps_times_outputs(self):
+        s = cube(1)
+        c = cost_of(gen(s, "scatter"))
+        assert c.macs == s.points * 16  # 16 output vectors
+
+    def test_no_unaligned(self):
+        assert cost_of(gen(cube(2), "scatter")).loads_unaligned == 0
+
+
+class TestAuto:
+    @pytest.mark.parametrize("name", ["7pt", "13pt", "19pt", "25pt", "27pt", "125pt"])
+    def test_auto_no_worse_than_either(self, name):
+        s = by_name(name).build()
+        a = len(gen(s, "auto").ops)
+        g = len(gen(s, "gather").ops)
+        sc = len(gen(s, "scatter").ops)
+        assert a == min(g, sc)
+
+    def test_codegen_beats_naive_on_loads(self):
+        for name in ("7pt", "25pt", "125pt"):
+            s = by_name(name).build()
+            naive = cost_of(gen(s, "naive"))
+            auto = cost_of(gen(s, "auto"))
+            assert auto.loads_total < naive.loads_total
+
+    def test_l1_ratio_grows_with_stencil_size(self):
+        # The paper's Figure 4: naive L1 traffic is ~points/footprint x codegen's.
+        small = by_name("7pt").build()
+        big = by_name("125pt").build()
+        ratio_small = (
+            cost_of(gen(small, "naive")).load_lanes()
+            / cost_of(gen(small, "auto")).load_lanes()
+        )
+        ratio_big = (
+            cost_of(gen(big, "naive")).load_lanes()
+            / cost_of(gen(big, "auto")).load_lanes()
+        )
+        assert ratio_big > ratio_small > 1.0
+
+
+class TestProgramInvariants:
+    @pytest.mark.parametrize("strategy", ["naive", "gather", "scatter"])
+    @pytest.mark.parametrize("name", ["7pt", "13pt", "27pt", "125pt"])
+    def test_validate_and_pressure(self, strategy, name):
+        s = by_name(name).build()
+        prog = gen(s, strategy)
+        prog.validate()
+        assert prog.max_live_registers() >= 1
+
+    def test_multi_vector_rows(self):
+        # bi=32 with vl=16 -> 2 vectors per row.
+        prog = generate(star(2), BrickDims((32, 4, 4)), CodegenOptions(16, "scatter"))
+        prog.validate()
+        assert prog.nvec == 2
+
+    def test_pretty_output(self):
+        prog = gen(star(1), "gather")
+        text = prog.pretty(limit=10)
+        assert "gather" in text and "load" in text and "more ops" in text

@@ -1,0 +1,204 @@
+"""Tests for the distributed layer: decomposition, exchange, runner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import comm, dsl, gpu
+from repro.errors import LayoutError, SimulationError
+from repro.reference import apply_periodic, random_field
+
+
+class TestRankLayout:
+    def test_counts(self):
+        lay = comm.RankLayout((64, 32, 32), (4, 2, 2))
+        assert lay.num_ranks == 16
+        assert lay.local_extents == (16, 16, 16)
+
+    def test_non_divisible(self):
+        with pytest.raises(LayoutError):
+            comm.RankLayout((65, 32, 32), (4, 2, 2))
+
+    def test_rank_coords_roundtrip(self):
+        lay = comm.RankLayout((32, 32, 32), (2, 4, 2))
+        for r in lay.ranks():
+            assert lay.rank_of(lay.coords_of(r)) == r
+
+    def test_periodic_wrap(self):
+        lay = comm.RankLayout((32, 32, 32), (2, 2, 2))
+        assert lay.rank_of((-1, 0, 0)) == lay.rank_of((1, 0, 0))
+        assert lay.rank_of((2, 0, 0)) == lay.rank_of((0, 0, 0))
+
+    def test_neighbors_count(self):
+        lay = comm.RankLayout((32, 32, 32), (2, 2, 2))
+        assert len(lay.neighbors(0)) == 26
+
+    def test_origin(self):
+        lay = comm.RankLayout((32, 32, 32), (2, 2, 2))
+        origins = {lay.origin_of(r) for r in lay.ranks()}
+        assert (0, 0, 0) in origins and (16, 16, 16) in origins
+        assert len(origins) == 8
+
+    def test_balanced_layout(self):
+        lay = comm.balanced_layout((64, 64, 64), 8)
+        assert lay.ranks_per_dim == (2, 2, 2)
+        with pytest.raises(LayoutError):
+            comm.balanced_layout((10, 10, 10), 7)
+
+
+class TestExchange:
+    def _setup(self, radius, ranks=(2, 2, 2), extents=(16, 16, 16)):
+        lay = comm.RankLayout(extents, ranks)
+        g = random_field(tuple(reversed(extents)), seed=9)
+        fields = comm.scatter_global(g, lay, radius)
+        return lay, g, fields
+
+    def test_scatter_gather_roundtrip(self):
+        lay, g, fields = self._setup(radius=2)
+        assert np.array_equal(comm.gather_global(fields, lay, 2), g)
+
+    @pytest.mark.parametrize("radius", [1, 2, 4])
+    def test_halos_match_periodic_neighbors(self, radius):
+        lay, g, fields = self._setup(radius, extents=(16, 16, 16))
+        comm.exchange_halos(fields, lay, radius)
+        # After the exchange, every rank's padded block must equal the
+        # corresponding periodic window of the global field.
+        gk = np.pad(g, radius, mode="wrap")
+        ni, nj, nk = lay.local_extents
+        for rank in lay.ranks():
+            oi, oj, ok = lay.origin_of(rank)
+            window = gk[
+                ok:ok + nk + 2 * radius,
+                oj:oj + nj + 2 * radius,
+                oi:oi + ni + 2 * radius,
+            ]
+            assert np.array_equal(fields[rank], window), rank
+
+    def test_message_ledger(self):
+        lay, g, fields = self._setup(radius=2)
+        messages = comm.exchange_halos(fields, lay, 2)
+        assert len(messages) == lay.num_ranks * 26
+        per_rank = sum(m.bytes for m in messages if m.dst_rank == 0)
+        assert per_rank == comm.halo_bytes_per_rank(lay, 2)
+
+    def test_halo_bytes_formula(self):
+        lay = comm.RankLayout((16, 16, 16), (2, 2, 2))
+        r, n = 2, 8
+        faces = 6 * n * n * r
+        edges = 12 * n * r * r
+        corners = 8 * r**3
+        assert comm.halo_bytes_per_rank(lay, r) == (faces + edges + corners) * 8
+
+    def test_shape_validation(self):
+        lay = comm.RankLayout((16, 16, 16), (2, 2, 2))
+        with pytest.raises(LayoutError):
+            comm.exchange_halos([np.zeros((4, 4, 4))] * 8, lay, 2)
+        with pytest.raises(LayoutError):
+            comm.scatter_global(np.zeros((4, 4, 4)), lay, 2)
+
+
+class TestInterconnect:
+    def test_postal_model(self):
+        net = comm.Interconnect("t", latency_s=1e-6, bandwidth=1e10)
+        assert net.message_time(1e10) == pytest.approx(1.0 + 1e-6)
+
+    def test_paper_systems(self):
+        assert comm.SLINGSHOT11_PERLMUTTER.bandwidth == 12.5e9
+        # Crusher: NIC on the GCD -> more bandwidth than Perlmutter.
+        assert comm.SLINGSHOT11_CRUSHER.bandwidth > comm.SLINGSHOT11_PERLMUTTER.bandwidth
+        assert comm.interconnect_for("A100") is comm.SLINGSHOT11_PERLMUTTER
+        with pytest.raises(SimulationError):
+            comm.interconnect_for("H100")
+
+    def test_exchange_time_concurrency(self):
+        net = comm.Interconnect("t", latency_s=1e-6, bandwidth=1e10, concurrency=26)
+        msgs = [comm.Message(1, 0, (1, 0, 0), 1000) for _ in range(26)]
+        t = net.exchange_time(msgs, 0)
+        assert t == pytest.approx(1e-6 + 26 * 1000 / 1e10)
+
+    def test_invalid(self):
+        with pytest.raises(SimulationError):
+            comm.Interconnect("t", latency_s=-1, bandwidth=1e9)
+
+
+class TestDistributedStencil:
+    def test_step_matches_periodic_reference(self):
+        case = dsl.by_name("13pt")
+        s, b = case.build(), case.default_bindings()
+        lay = comm.RankLayout((32, 16, 16), (2, 1, 2))
+        dist = comm.DistributedStencil(s, lay, gpu.platform("PVC", "SYCL"), b)
+        g = random_field((16, 16, 32), seed=4)
+        dist.load_global(g)
+        report = dist.step()
+        expected = apply_periodic(s, g, b)
+        np.testing.assert_allclose(dist.gather(), expected, rtol=1e-12, atol=1e-12)
+        assert report.exchange_s > 0 and report.kernel_s > 0
+
+    def test_multiple_steps(self):
+        case = dsl.by_name("7pt")
+        s, b = case.build(), case.default_bindings()
+        lay = comm.RankLayout((32, 16, 16), (2, 2, 1))
+        dist = comm.DistributedStencil(s, lay, gpu.platform("PVC", "SYCL"), b)
+        g = random_field((16, 16, 32), seed=5)
+        dist.load_global(g)
+        ref = g
+        for _ in range(3):
+            dist.step()
+            ref = apply_periodic(s, ref, b)
+        np.testing.assert_allclose(dist.gather(), ref, rtol=1e-11, atol=1e-11)
+
+    def test_step_before_load_rejected(self):
+        case = dsl.by_name("7pt")
+        lay = comm.RankLayout((32, 16, 16), (2, 1, 1))
+        dist = comm.DistributedStencil(
+            case.build(), lay, gpu.platform("PVC", "SYCL"),
+            case.default_bindings(),
+        )
+        with pytest.raises(LayoutError):
+            dist.step()
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        ranks=st.sampled_from([(1, 1, 1), (2, 1, 1), (1, 2, 2), (2, 2, 2)]),
+        seed=st.integers(0, 20),
+    )
+    def test_rank_count_invariance(self, ranks, seed):
+        """The distributed result is independent of the rank grid."""
+        case = dsl.by_name("7pt")
+        s, b = case.build(), case.default_bindings()
+        g = random_field((16, 16, 32), seed=seed)
+        results = []
+        lay = comm.RankLayout((32, 16, 16), ranks)
+        dist = comm.DistributedStencil(s, lay, gpu.platform("PVC", "SYCL"), b)
+        dist.load_global(g)
+        dist.step()
+        np.testing.assert_allclose(
+            dist.gather(), apply_periodic(s, g, b), rtol=1e-12, atol=1e-12
+        )
+
+
+class TestWeakScaling:
+    def test_efficiency_curve(self):
+        s = dsl.by_name("13pt").build()
+        curve = comm.weak_scaling(
+            s, gpu.platform("A100", "CUDA"), (128, 128, 128),
+            rank_counts=(1, 8, 64),
+        )
+        assert curve[1]["efficiency"] == 1.0
+        assert curve[1]["exchange_s"] == 0.0
+        # Multi-rank steps pay for the exchange; at this (communication-
+        # heavy) local size the efficiency drops hard but stays positive
+        # and non-increasing in rank count.
+        assert 0.1 < curve[64]["efficiency"] < 1.0
+        assert curve[64]["efficiency"] <= curve[8]["efficiency"]
+        assert curve[8]["exchange_s"] > 0.0
+
+    def test_bigger_local_domain_scales_better(self):
+        s = dsl.by_name("13pt").build()
+        plat = gpu.platform("A100", "CUDA")
+        small = comm.weak_scaling(s, plat, (64, 64, 64), rank_counts=(1, 8))
+        big = comm.weak_scaling(s, plat, (256, 256, 256), rank_counts=(1, 8))
+        # Surface-to-volume: the larger local block hides communication
+        # better.
+        assert big[8]["efficiency"] > small[8]["efficiency"]

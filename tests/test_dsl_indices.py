@@ -1,0 +1,59 @@
+"""Unit tests for symbolic indices."""
+
+import pytest
+
+from repro.dsl import Index
+from repro.dsl.indices import ShiftedIndex, as_shift
+from repro.errors import DSLError
+
+
+class TestIndex:
+    def test_dims(self):
+        assert Index(0).dim == 0
+        assert Index(2).dim == 2
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(DSLError):
+            Index(-1)
+
+    def test_add_produces_shift(self):
+        s = Index(1) + 3
+        assert isinstance(s, ShiftedIndex)
+        assert (s.dim, s.offset) == (1, 3)
+
+    def test_sub_produces_shift(self):
+        s = Index(2) - 2
+        assert (s.dim, s.offset) == (2, -2)
+
+    def test_radd(self):
+        s = 4 + Index(0)
+        assert (s.dim, s.offset) == (0, 4)
+
+    def test_chained_shifts(self):
+        s = Index(0) + 1 + 2 - 5
+        assert s.offset == -2
+
+    def test_non_int_shift_rejected(self):
+        with pytest.raises(DSLError):
+            Index(0) + 1.5
+        with pytest.raises(DSLError):
+            (Index(0) + 1) - 0.5
+
+    def test_equality_and_hash(self):
+        assert Index(0) == Index(0)
+        assert Index(0) != Index(1)
+        assert len({Index(0) + 1, Index(0) + 1, Index(0) + 2}) == 2
+
+
+class TestAsShift:
+    def test_index_normalised(self):
+        s = as_shift(Index(1))
+        assert (s.dim, s.offset) == (1, 0)
+
+    def test_shift_passthrough(self):
+        s = as_shift(Index(1) + 2)
+        assert (s.dim, s.offset) == (1, 2)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DSLError):
+            as_shift("i")

@@ -1,0 +1,171 @@
+"""Unit tests for DSL lowering and the canonical Stencil form."""
+
+import pytest
+
+from repro.dsl import ConstRef, Grid, Index, cube, from_weights, star
+from repro.errors import DSLError
+
+i, j, k = Index(0), Index(1), Index(2)
+
+
+def paper_figure1_stencil():
+    """The exact DSL program from Figure 1 of the paper."""
+    inp = Grid("in", 3)
+    out = Grid("out", 3)
+    a0, a1, a2 = ConstRef("MPI_B0"), ConstRef("MPI_B1"), ConstRef("MPI_B2")
+    calc = (
+        a0 * inp(i, j, k)
+        + a1 * inp(i + 1, j, k)
+        + a1 * inp(i - 1, j, k)
+        + a1 * inp(i, j + 1, k)
+        + a1 * inp(i, j - 1, k)
+        + a1 * inp(i, j, k + 1)
+        + a1 * inp(i, j, k - 1)
+        + a2 * inp(i + 2, j, k)
+        + a2 * inp(i - 2, j, k)
+        + a2 * inp(i, j + 2, k)
+        + a2 * inp(i, j - 2, k)
+        + a2 * inp(i, j, k + 2)
+        + a2 * inp(i, j, k - 2)
+    )
+    return out(i, j, k).assign(calc)
+
+
+class TestLowering:
+    def test_figure1_is_13pt_star(self):
+        s = paper_figure1_stencil()
+        assert s.points == 13
+        assert s.radius == 2
+        assert s.shape_class() == "star"
+        assert s.unique_coefficients() == 3
+        assert s.input == "in" and s.output == "out"
+
+    def test_figure1_matches_star_factory_geometry(self):
+        assert paper_figure1_stencil().offsets() == star(2).offsets()
+
+    def test_repeated_tap_coefficients_merge(self):
+        inp, out = Grid("in", 3), Grid("out", 3)
+        a = ConstRef("a")
+        s = out(i, j, k).assign(a * inp(i, j, k) + a * inp(i, j, k))
+        coeff = s.taps[(0, 0, 0)]
+        assert coeff.evaluate({"a": 3.0}) == pytest.approx(6.0)
+
+    def test_cancelling_taps_are_dropped(self):
+        inp, out = Grid("in", 3), Grid("out", 3)
+        s = out(i, j, k).assign(inp(i + 1, j, k) - inp(i + 1, j, k) + inp(i, j, k))
+        assert s.points == 1
+
+    def test_subtraction_and_negation(self):
+        inp, out = Grid("in", 3), Grid("out", 3)
+        s = out(i, j, k).assign(inp(i, j, k) - 2.0 * inp(i + 1, j, k))
+        assert s.weights()[(1, 0, 0)] == pytest.approx(-2.0)
+        s2 = out(i, j, k).assign(-inp(i, j, k))
+        assert s2.weights()[(0, 0, 0)] == pytest.approx(-1.0)
+
+    def test_nonlinear_rejected(self):
+        inp, out = Grid("in", 3), Grid("out", 3)
+        with pytest.raises(DSLError, match="non-linear"):
+            out(i, j, k).assign(inp(i, j, k) * inp(i + 1, j, k))
+
+    def test_in_place_rejected(self):
+        g = Grid("g", 3)
+        with pytest.raises(DSLError, match="out-of-place"):
+            g(i, j, k).assign(g(i + 1, j, k))
+
+    def test_two_input_grids_rejected(self):
+        a, b, out = Grid("a", 3), Grid("b", 3), Grid("out", 3)
+        with pytest.raises(DSLError, match="exactly one input grid"):
+            out(i, j, k).assign(a(i, j, k) + b(i, j, k))
+
+    def test_shifted_target_rejected(self):
+        inp, out = Grid("in", 3), Grid("out", 3)
+        with pytest.raises(DSLError, match="centre"):
+            out(i + 1, j, k).assign(inp(i, j, k))
+
+    def test_additive_constant_rejected(self):
+        inp, out = Grid("in", 3), Grid("out", 3)
+        with pytest.raises(DSLError, match="additive constants"):
+            out(i, j, k).assign(inp(i, j, k) + 1.0)
+
+    def test_empty_expression_rejected(self):
+        out = Grid("out", 3)
+        with pytest.raises(DSLError):
+            out(i, j, k).assign(0.0)
+
+    def test_wrong_arity_rejected(self):
+        inp = Grid("in", 3)
+        with pytest.raises(DSLError, match="3 dimensions"):
+            inp(i, j)
+
+    def test_duplicate_dimension_rejected(self):
+        inp = Grid("in", 3)
+        with pytest.raises(DSLError, match="exactly once"):
+            inp(i, i, k)
+
+    def test_permuted_subscripts_allowed(self):
+        inp = Grid("in", 3)
+        ref = inp(k + 2, j, i)  # any order: offsets land on their dims
+        assert ref.offsets == (0, 0, 2)
+
+
+class TestStencilProperties:
+    def test_star_shape_class(self):
+        for r in (1, 2, 3, 4):
+            assert star(r).shape_class() == "star"
+
+    def test_cube_shape_class(self):
+        for r in (1, 2):
+            assert cube(r).shape_class() == "cube"
+
+    def test_general_shape_class(self):
+        s = from_weights({(0, 0, 0): 1.0, (1, 1, 0): 0.5})
+        assert s.shape_class() == "general"
+
+    def test_incomplete_star_is_general(self):
+        # Missing one axis tap: not a full star.
+        s = from_weights({(0, 0, 0): 1.0, (1, 0, 0): 0.5, (-1, 0, 0): 0.5,
+                          (0, 1, 0): 0.5, (0, -1, 0): 0.5, (0, 0, 1): 0.5})
+        assert s.shape_class() == "general"
+
+    def test_radius(self):
+        assert star(3).radius == 3
+        assert cube(2).radius == 2
+
+    def test_flops_minimal_formula(self):
+        # points + unique_coefficients - 1 (see Table 4 derivation).
+        assert star(1).flops_per_point() == 8
+        assert star(2).flops_per_point() == 15
+        assert star(3).flops_per_point() == 22
+        assert star(4).flops_per_point() == 29
+        assert cube(1).flops_per_point() == 30
+        assert cube(2).flops_per_point() == 134
+
+    def test_flops_naive(self):
+        assert star(1).flops_per_point(minimal=False) == 13
+        assert cube(1).flops_per_point(minimal=False) == 53
+
+    def test_coefficient_groups_partition_taps(self):
+        s = cube(2)
+        groups = s.coefficient_groups()
+        sizes = sorted(len(v) for v in groups.values())
+        assert sum(sizes) == 125
+        assert len(groups) == 10
+        # Orbit sizes for radius 2: centre=1, and octahedral orbit sizes.
+        assert sizes[0] == 1 and sizes[-1] == 24
+
+    def test_weights_require_bindings(self):
+        with pytest.raises(DSLError, match="no value bound"):
+            star(1).weights({})
+
+    def test_weights_with_bindings(self):
+        w = star(1).weights({"B0": -6.0, "B1": 1.0})
+        assert w[(0, 0, 0)] == -6.0
+        assert w[(1, 0, 0)] == 1.0
+        assert len(w) == 7
+
+    def test_from_weights_drops_zeros(self):
+        s = from_weights({(0, 0, 0): 1.0, (1, 0, 0): 0.0})
+        assert s.points == 1
+
+    def test_description(self):
+        assert star(2).description() == "star(r=2, 13pt)"

@@ -1,0 +1,53 @@
+"""Golden-file regression tests for all six emitter back ends.
+
+Any change to code generation or emission that alters the produced
+source shows up as a diff against the checked-in snapshots (regenerate
+deliberately with ``python tests/test_emitters_golden.py``).
+"""
+
+import pathlib
+
+import pytest
+
+from repro import dsl
+from repro.bricks import BrickDims
+from repro.codegen import CodegenOptions, generate
+from repro.codegen.emitters import emit
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: (model, vector length) pairs snapshotted.
+CASES = [
+    ("CUDA", 8),
+    ("HIP", 8),
+    ("SYCL", 8),
+    ("AVX512", 8),
+    ("SVE", 8),
+    ("AVX2", 4),
+]
+
+
+def generate_source(model: str, vl: int) -> str:
+    prog = generate(
+        dsl.star(1), BrickDims((vl, 4, 4)), CodegenOptions(vl, "gather")
+    )
+    return emit(prog, model, layout="brick")
+
+
+@pytest.mark.parametrize("model,vl", CASES, ids=lambda v: str(v))
+def test_matches_golden(model, vl):
+    expected = (GOLDEN_DIR / f"star1_{model.lower()}_brick.txt").read_text()
+    assert generate_source(model, vl) == expected
+
+
+def test_golden_files_nontrivial():
+    for model, _ in CASES:
+        text = (GOLDEN_DIR / f"star1_{model.lower()}_brick.txt").read_text()
+        assert len(text.splitlines()) > 30
+
+
+if __name__ == "__main__":  # regenerate the snapshots
+    for model, vl in CASES:
+        path = GOLDEN_DIR / f"star1_{model.lower()}_brick.txt"
+        path.write_text(generate_source(model, vl))
+        print(f"wrote {path}")

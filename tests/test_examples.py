@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs clean end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name
+    for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    path = pathlib.Path(__file__).parent.parent / "examples" / name
+    return subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def test_examples_present():
+    # The deliverable: a quickstart plus domain scenarios.
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 4
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, tmp_path, monkeypatch):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()  # says something
+
+
+def test_quickstart_output():
+    result = run_example("quickstart.py")
+    assert "13pt" in result.stdout
+    assert "max |err|" in result.stdout
+
+
+def test_heat_equation_validates():
+    result = run_example("heat_equation_3d.py")
+    assert "analytic decay" in result.stdout
+    assert "✓" in result.stdout

@@ -1,0 +1,130 @@
+"""Unit and property tests for the set-associative LRU cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.gpu import CacheSim, dense_row_lines
+
+
+def small_cache(lines=8, assoc=2, **kw):
+    return CacheSim(capacity_bytes=lines * 128, line_bytes=128,
+                    associativity=assoc, **kw)
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert c.access(0) is False
+        assert c.access(0) is True
+        assert c.stats.misses == 1 and c.stats.hits == 1
+
+    def test_capacity_eviction(self):
+        # Fully-associative, 4 lines: the 5th distinct line evicts the LRU.
+        c = CacheSim(capacity_bytes=4 * 128, associativity=0)
+        for addr in range(5):
+            c.access(addr)
+        assert c.access(0) is False  # evicted
+        assert c.stats.evictions >= 1
+
+    def test_lru_order(self):
+        c = CacheSim(capacity_bytes=2 * 128, associativity=0)
+        c.access(0)
+        c.access(1)
+        c.access(0)  # 1 is now LRU
+        c.access(2)  # evicts 1
+        assert c.access(0) is True
+        assert c.access(1) is False
+
+    def test_set_conflicts(self):
+        # 2-way, 4 sets: addresses 0, 4, 8 map to set 0 -> third conflicts.
+        c = small_cache(lines=8, assoc=2)
+        c.access(0)
+        c.access(4)
+        c.access(8)
+        assert c.stats.evictions == 1
+
+    def test_writebacks_on_dirty_eviction(self):
+        c = CacheSim(capacity_bytes=1 * 128, associativity=0)
+        c.access(0, write=True)
+        c.access(1)
+        assert c.stats.writebacks == 1
+
+    def test_no_write_allocate(self):
+        c = CacheSim(capacity_bytes=4 * 128, associativity=0, write_allocate=False)
+        c.access(0, write=True)
+        assert c.resident_lines() == 0
+        assert c.stats.writebacks == 1
+        assert c.miss_bytes == 0  # write miss did not fill
+
+    def test_flush(self):
+        c = small_cache()
+        c.access(0, write=True)
+        c.access(1)
+        dirty = c.flush()
+        assert dirty == 1
+        assert c.resident_lines() == 0
+
+    def test_invalid_configs(self):
+        with pytest.raises(SimulationError):
+            CacheSim(capacity_bytes=0)
+        with pytest.raises(SimulationError):
+            CacheSim(capacity_bytes=64, line_bytes=128)
+        with pytest.raises(SimulationError):
+            CacheSim(capacity_bytes=3 * 128, associativity=2)
+
+
+class TestTraces:
+    def test_streaming_trace_all_miss(self):
+        c = small_cache()
+        misses = c.access_trace(range(100))
+        assert misses == 100
+
+    def test_repeated_trace_within_capacity(self):
+        c = CacheSim(capacity_bytes=16 * 128, associativity=0)
+        c.access_trace(range(16))
+        assert c.access_trace(range(16)) == 0
+
+    def test_access_array(self):
+        c = small_cache()
+        misses = c.access_array(np.array([0, 1, 0, 1]))
+        assert misses == 2
+
+    def test_dense_row_lines(self):
+        # 16 doubles starting at element 0 -> exactly one 128 B line.
+        assert list(dense_row_lines(0, 16)) == [0]
+        # Crossing a boundary: elements 14..29 -> lines 0 and 1.
+        assert list(dense_row_lines(14, 16)) == [0, 1]
+
+
+class TestInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        addrs=st.lists(st.integers(0, 63), min_size=1, max_size=300),
+        lines=st.sampled_from([4, 8, 16]),
+        assoc=st.sampled_from([0, 2, 4]),
+    )
+    def test_hits_plus_misses_and_compulsory_bound(self, addrs, lines, assoc):
+        c = CacheSim(capacity_bytes=lines * 128, associativity=assoc)
+        for a in addrs:
+            c.access(a)
+        st_ = c.stats
+        assert st_.hits + st_.misses == st_.accesses == len(addrs)
+        # Misses are at least the number of distinct lines (compulsory)
+        # and at most the total accesses.
+        assert len(set(addrs)) <= st_.misses <= len(addrs)
+        # Residency never exceeds capacity.
+        assert c.resident_lines() <= lines
+
+    @settings(max_examples=20, deadline=None)
+    @given(addrs=st.lists(st.integers(0, 31), min_size=1, max_size=200))
+    def test_bigger_cache_never_worse(self, addrs):
+        small = CacheSim(capacity_bytes=4 * 128, associativity=0)
+        big = CacheSim(capacity_bytes=64 * 128, associativity=0)
+        for a in addrs:
+            small.access(a)
+            big.access(a)
+        # LRU is a stack algorithm: inclusion property guarantees this.
+        assert big.stats.misses <= small.stats.misses

@@ -1,0 +1,62 @@
+"""Unit tests for the memory-coalescing arithmetic."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu import coalesce
+
+
+class TestSpans:
+    def test_aligned_exact(self):
+        assert coalesce.spans(0, 128, 128) == 1
+
+    def test_crossing(self):
+        assert coalesce.spans(64, 128, 128) == 2
+
+    def test_one_byte(self):
+        assert coalesce.spans(127, 1, 128) == 1
+        assert coalesce.spans(127, 2, 128) == 2
+
+    def test_invalid(self):
+        with pytest.raises(SimulationError):
+            coalesce.spans(0, 0, 128)
+        with pytest.raises(SimulationError):
+            coalesce.spans(0, 8, 0)
+
+
+class TestContiguous:
+    def test_warp_aligned_sectors(self):
+        # 32 lanes x 8 B = 256 B = 8 sectors of 32 B.
+        assert coalesce.contiguous_sectors(0, 32) == 8
+
+    def test_warp_misaligned_sectors(self):
+        # Offset by one element: crosses into a 9th sector.
+        assert coalesce.contiguous_sectors(8, 32) == 9
+
+    def test_lines(self):
+        assert coalesce.contiguous_lines(0, 32) == 2  # 256 B / 128 B
+        assert coalesce.contiguous_lines(8, 32) == 3
+
+    def test_wave64(self):
+        assert coalesce.contiguous_sectors(0, 64) == 16
+
+
+class TestStrided:
+    def test_unit_stride_equals_contiguous(self):
+        assert coalesce.strided_sectors(32, 8) == coalesce.contiguous_sectors(0, 32)
+
+    def test_large_stride_scalarizes(self):
+        assert coalesce.strided_sectors(32, 512) == 32
+
+    def test_stride_exactly_sector(self):
+        assert coalesce.strided_sectors(32, 32) == 32
+
+    def test_half_sector_stride(self):
+        assert coalesce.strided_sectors(32, 16) == 16
+
+    def test_stride_below_element_rejected(self):
+        with pytest.raises(SimulationError):
+            coalesce.strided_sectors(32, 4)
+
+    def test_scalarized(self):
+        assert coalesce.scalarized_sectors(64) == 64

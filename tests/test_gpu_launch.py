@@ -1,0 +1,80 @@
+"""Tests for launch configuration and the occupancy calculator."""
+
+import pytest
+
+from repro import dsl
+from repro.bricks import BrickDims
+from repro.codegen import CodegenOptions, cost_of, generate
+from repro.errors import SimulationError
+from repro.gpu import A100, MI250X
+from repro.gpu.launch import (
+    MAX_BLOCKS_PER_CU,
+    LaunchConfig,
+    launch_config,
+    occupancy,
+    waves,
+)
+
+
+def a100_cost(name="13pt"):
+    prog = generate(
+        dsl.by_name(name).build(), BrickDims((32, 4, 4)), CodegenOptions(32, "auto")
+    )
+    return cost_of(prog)
+
+
+class TestLaunchConfig:
+    def test_paper_mapping(self):
+        cfg = launch_config((512, 512, 512), BrickDims((32, 4, 4)), 32)
+        assert cfg.grid == (16, 128, 128)
+        assert cfg.block == (32, 1, 1)
+        assert cfg.num_blocks == 16 * 128 * 128
+        assert cfg.threads_per_block == 32
+
+    def test_total_threads(self):
+        cfg = LaunchConfig(grid=(2, 2, 2), block=(64, 1, 1))
+        assert cfg.total_threads == 512
+
+    def test_non_divisible_rejected(self):
+        with pytest.raises(SimulationError):
+            launch_config((100, 100, 100), BrickDims((32, 4, 4)), 32)
+
+
+class TestOccupancy:
+    def test_small_kernel_block_limited(self):
+        occ = occupancy(A100, a100_cost("7pt"), threads_per_block=32)
+        assert occ.blocks_per_cu == MAX_BLOCKS_PER_CU
+        assert occ.limiter == "blocks"
+        assert 0 < occ.fraction <= 1.0
+
+    def test_register_hungry_kernel(self):
+        occ = occupancy(A100, a100_cost(), threads_per_block=32,
+                        regs_per_thread=256)
+        assert occ.limiter == "registers"
+        assert occ.blocks_per_cu == 65536 // (512 * 32)
+
+    def test_wide_blocks_warp_limited(self):
+        occ = occupancy(A100, a100_cost(), threads_per_block=1024,
+                        regs_per_thread=8)
+        assert occ.limiter == "warps"
+        assert occ.warps_per_cu <= 64
+
+    def test_does_not_fit(self):
+        with pytest.raises(SimulationError):
+            occupancy(A100, a100_cost(), threads_per_block=1024,
+                      regs_per_thread=2048)
+
+    def test_wave64_counts(self):
+        occ = occupancy(MI250X, a100_cost(), threads_per_block=64)
+        assert occ.warps_per_cu == occ.blocks_per_cu  # one wave per block
+
+    def test_waves(self):
+        cfg = launch_config((512, 512, 512), BrickDims((32, 4, 4)), 32)
+        occ = occupancy(A100, a100_cost(), threads_per_block=32)
+        w = waves(cfg, A100, occ)
+        assert w == pytest.approx(cfg.num_blocks / (108 * occ.blocks_per_cu))
+        assert w > 1  # a 512^3 sweep is many waves deep
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            occupancy(A100, a100_cost(), threads_per_block=0)

@@ -1,0 +1,100 @@
+"""Tests for ASCII plots and study serialization."""
+
+import pytest
+
+from repro import harness
+from repro.errors import MetricError
+from repro.harness.ascii_plot import AsciiPlot
+
+
+@pytest.fixture(scope="module")
+def study():
+    return harness.run_study(
+        harness.ExperimentConfig(stencils=("7pt", "27pt"), domain=(128, 128, 128))
+    )
+
+
+class TestAsciiPlot:
+    def test_basic_scatter(self):
+        p = AsciiPlot(title="t", x_label="a", y_label="b")
+        p.add_series("s1", [(1.0, 10.0), (10.0, 100.0)])
+        text = p.render()
+        assert "t" in text and "o=s1" in text
+        # Canvas rows all share the width.
+        rows = [l for l in text.splitlines() if l.startswith("|")]
+        assert len(rows) == 20
+        assert all(len(r) == 65 for r in rows)
+
+    def test_diagonal_symmetric_bounds(self):
+        p = AsciiPlot()
+        p.add_diagonal()
+        p.add_series("s", [(1.0, 100.0)])
+        text = p.render()
+        assert "." in text  # diagonal drawn
+
+    def test_roofline_drawn(self):
+        p = AsciiPlot()
+        p.add_roofline(peak_bw=100.0, peak_flops=1000.0)
+        p.add_series("k", [(0.5, 40.0), (100.0, 900.0)])
+        text = p.render()
+        assert "/" in text and "-" in text
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            AsciiPlot(width=4)
+        p = AsciiPlot()
+        with pytest.raises(MetricError):
+            p.add_series("empty", [])
+        with pytest.raises(MetricError):
+            p.render()  # nothing to plot
+        p.add_series("neg", [(-1.0, 1.0)])
+        with pytest.raises(MetricError):
+            p.render()  # log scale needs positive values
+
+    def test_roofline_ascii_panel(self, study):
+        panel = harness.fig3(study)[0]
+        text = harness.roofline_ascii(panel)
+        assert "Roofline: A100-CUDA" in text
+        assert "bricks_codegen" in text
+
+    def test_correlation_ascii(self, study):
+        perf, _ = harness.fig5(study)
+        text = harness.correlation_ascii(perf)
+        assert "CUDA (y) vs SYCL (x)" in text
+
+
+class TestSerialization:
+    def test_roundtrip(self, study, tmp_path):
+        path = tmp_path / "study.json"
+        harness.dump_study(study, str(path))
+        rows = harness.load_rows(str(path))
+        assert len(rows) == len(study)
+        assert {r["stencil"] for r in rows} == {"7pt", "27pt"}
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99, "results": []}')
+        with pytest.raises(MetricError):
+            harness.load_rows(str(path))
+
+    def test_compare_rows_no_drift(self, study, tmp_path):
+        path = tmp_path / "s.json"
+        harness.dump_study(study, str(path))
+        rows = harness.load_rows(str(path))
+        assert harness.compare_rows(rows, rows) == []
+
+    def test_compare_rows_detects_drift(self, study, tmp_path):
+        path = tmp_path / "s.json"
+        harness.dump_study(study, str(path))
+        rows = harness.load_rows(str(path))
+        drifted = [dict(r) for r in rows]
+        drifted[0]["time_ms"] = drifted[0]["time_ms"] * 2
+        diffs = harness.compare_rows(rows, drifted)
+        assert len(diffs) == 1 and "time" in diffs[0]
+
+    def test_compare_rows_detects_missing(self, study, tmp_path):
+        path = tmp_path / "s.json"
+        harness.dump_study(study, str(path))
+        rows = harness.load_rows(str(path))
+        diffs = harness.compare_rows(rows, rows[:-1])
+        assert any("missing" in d for d in diffs)

@@ -1,0 +1,112 @@
+"""Integration tests: executable kernels vs the reference, all variants."""
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.bricks import BrickDims
+from repro.dsl import by_name, catalog
+from repro.errors import SimulationError
+from repro.gpu import platform
+from repro.kernels.array_kernels import tile_blocks
+from repro.reference import apply_interior, random_field
+
+PLAT = platform("A100", "CUDA")
+
+
+def reference(stencil, dense, bindings):
+    return apply_interior(stencil, dense, bindings)
+
+
+class TestTileBlocks:
+    def test_shapes(self):
+        dense = random_field((12, 12, 36))
+        blocks = tile_blocks(dense, (4, 4, 16), radius=2)
+        assert blocks.shape == (2 * 2 * 2, 8, 8, 20)
+
+    def test_contents_match_windows(self):
+        dense = random_field((12, 12, 36), seed=7)
+        blocks = tile_blocks(dense, (4, 4, 16), radius=2)
+        assert np.array_equal(blocks[0], dense[0:8, 0:8, 0:20])
+        assert np.array_equal(blocks[-1], dense[4:12, 4:12, 16:36])
+
+    def test_errors(self):
+        from repro.errors import LayoutError
+
+        with pytest.raises(LayoutError):
+            tile_blocks(random_field((4, 4, 4)), (4, 4, 16), radius=2)
+        with pytest.raises(LayoutError):
+            tile_blocks(random_field((13, 12, 36)), (4, 4, 16), radius=2)
+
+
+class TestRunVariants:
+    @pytest.mark.parametrize("variant", kernels.VARIANTS)
+    @pytest.mark.parametrize("name", sorted(catalog()))
+    def test_matches_reference(self, variant, name):
+        case = by_name(name)
+        s = case.build()
+        b = case.default_bindings()
+        r = s.radius
+        domain = (64, 8, 8)  # (ni, nj, nk)
+        dense = random_field((8 + 2 * r, 8 + 2 * r, 64 + 2 * r), seed=11)
+        kr = kernels.run(variant, s, PLAT, domain=domain, bindings=b,
+                         input_dense=dense, stencil_name=name)
+        np.testing.assert_allclose(
+            kr.output, reference(s, dense, b), rtol=1e-12, atol=1e-12
+        )
+        assert kr.result.stencil_name == name
+        assert kr.result.variant == variant
+
+    def test_variants_agree_with_each_other(self):
+        case = by_name("27pt")
+        s, b = case.build(), case.default_bindings()
+        dense = random_field((10, 10, 66), seed=3)
+        outs = [
+            kernels.run(v, s, PLAT, domain=(64, 8, 8), bindings=b,
+                        input_dense=dense).output
+            for v in kernels.VARIANTS
+        ]
+        np.testing.assert_allclose(outs[0], outs[1], rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(outs[0], outs[2], rtol=1e-12, atol=1e-12)
+
+    def test_other_platforms_tile_shapes(self):
+        case = by_name("13pt")
+        s, b = case.build(), case.default_bindings()
+        for plat_args, ni in ((("MI250X", "HIP"), 128), (("PVC", "SYCL"), 32)):
+            plat = platform(*plat_args)
+            r = s.radius
+            dense = random_field((8 + 2 * r, 8 + 2 * r, ni + 2 * r), seed=5)
+            kr = kernels.run("bricks_codegen", s, plat, domain=(ni, 8, 8),
+                             bindings=b, input_dense=dense)
+            np.testing.assert_allclose(
+                kr.output, reference(s, dense, b), rtol=1e-12, atol=1e-12
+            )
+
+    def test_custom_dims(self):
+        case = by_name("7pt")
+        s, b = case.build(), case.default_bindings()
+        dims = BrickDims((16, 8, 8))
+        dense = random_field((18, 18, 34), seed=2)
+        kr = kernels.run("bricks_codegen", s, PLAT, domain=(32, 16, 16),
+                         bindings=b, input_dense=dense, dims=dims)
+        np.testing.assert_allclose(
+            kr.output, reference(s, dense, b), rtol=1e-12, atol=1e-12
+        )
+
+    def test_default_random_input(self):
+        case = by_name("7pt")
+        kr = kernels.run("array", case.build(), PLAT, domain=(32, 8, 8),
+                         bindings=case.default_bindings())
+        assert kr.output.shape == (8, 8, 32)
+        assert np.isfinite(kr.output).all()
+
+    def test_bad_variant(self):
+        with pytest.raises(SimulationError):
+            kernels.run("kokkos", by_name("7pt").build(), PLAT)
+
+    def test_bad_input_shape(self):
+        case = by_name("7pt")
+        with pytest.raises(SimulationError, match="ghosted shape"):
+            kernels.run("array", case.build(), PLAT, domain=(32, 8, 8),
+                        bindings=case.default_bindings(),
+                        input_dense=np.zeros((8, 8, 32)))

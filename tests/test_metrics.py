@@ -1,0 +1,179 @@
+"""Tests for the Pennycook metric, correlation models, and speed-up plane."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl import by_name
+from repro.errors import MetricError
+from repro.gpu import platform, simulate
+from repro.metrics import (
+    SpeedupPoint,
+    aggregate_portability,
+    correlate,
+    fraction_of_roofline,
+    fraction_of_theoretical_ai,
+    harmonic_mean,
+    iso_curve,
+    performance_portability,
+    summarize,
+)
+
+
+class TestHarmonicMean:
+    def test_equal_values(self):
+        assert harmonic_mean([0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_paper_definition(self):
+        # |H| / sum(1/e_i)
+        assert harmonic_mean([1.0, 0.5]) == pytest.approx(2 / (1 + 2))
+
+    def test_errors(self):
+        with pytest.raises(MetricError):
+            harmonic_mean([])
+        with pytest.raises(MetricError):
+            harmonic_mean([0.5, 0.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(vals=st.lists(st.floats(0.01, 1.0), min_size=1, max_size=10))
+    def test_bounded_by_min_and_max(self, vals):
+        h = harmonic_mean(vals)
+        assert min(vals) - 1e-12 <= h <= max(vals) + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(vals=st.lists(st.floats(0.01, 1.0), min_size=2, max_size=10))
+    def test_below_arithmetic_mean(self, vals):
+        assert harmonic_mean(vals) <= sum(vals) / len(vals) + 1e-12
+
+
+class TestPerformancePortability:
+    def test_all_supported(self):
+        p = performance_portability({"a": 0.9, "b": 0.6})
+        assert p == pytest.approx(harmonic_mean([0.9, 0.6]))
+
+    def test_unsupported_zeroes(self):
+        # The metric's "otherwise 0" branch.
+        assert performance_portability({"a": 0.9, "b": None}) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(MetricError):
+            performance_portability({})
+
+    def test_aggregate(self):
+        assert aggregate_portability([0.5, 0.5]) == pytest.approx(0.5)
+        assert aggregate_portability([0.5, 0.0]) == 0.0
+        with pytest.raises(MetricError):
+            aggregate_portability([])
+
+
+def a100_results(variant_list=("array", "array_codegen", "bricks_codegen")):
+    out = {}
+    for model in ("CUDA", "SYCL"):
+        plat = platform("A100", model)
+        res = []
+        for name in ("7pt", "27pt"):
+            s = by_name(name).build()
+            for v in variant_list:
+                res.append(simulate(s, v, plat, stencil_name=name))
+        out[model] = res
+    return out
+
+
+class TestCorrelation:
+    def test_fig5_shape(self):
+        res = a100_results()
+        model = correlate(res["CUDA"], res["SYCL"], quantity="gflops")
+        assert model.y_label == "CUDA" and model.x_label == "SYCL"
+        assert len(model.points) == 6
+
+    def test_cuda_mostly_above_diagonal(self):
+        # Paper: most stencils perform better with CUDA than SYCL.
+        res = a100_results()
+        model = correlate(res["CUDA"], res["SYCL"], quantity="gflops")
+        assert len(model.above_diagonal()) >= len(model.points) - 1
+
+    def test_bricks_closest_to_diagonal(self):
+        # Paper: bricks codegen reduces the gap between models.
+        res = a100_results()
+        model = correlate(res["CUDA"], res["SYCL"], quantity="gflops")
+        d_bricks = model.diagonal_distance("bricks_codegen")
+        d_array = model.diagonal_distance("array")
+        assert d_bricks < d_array
+
+    def test_bytes_correlation_below_diagonal(self):
+        # Bytes: SYCL moves more -> points below the diagonal (y=CUDA).
+        res = a100_results()
+        model = correlate(res["CUDA"], res["SYCL"], quantity="hbm_gbytes")
+        bricks = [p for p in model.points if p.variant == "bricks_codegen"]
+        assert all(p.y < p.x for p in bricks)
+
+    def test_mismatched_sets_rejected(self):
+        res = a100_results()
+        with pytest.raises(MetricError):
+            correlate(res["CUDA"][:3], res["SYCL"], quantity="gflops")
+
+    def test_mean_log_ratio(self):
+        res = a100_results()
+        model = correlate(res["CUDA"], res["SYCL"], quantity="gflops")
+        assert model.mean_log_ratio() > 1.0  # CUDA wins on average
+        with pytest.raises(MetricError):
+            model.mean_log_ratio("kokkos")
+
+
+class TestEfficiencies:
+    def test_fraction_of_roofline_in_range(self):
+        plat = platform("A100", "CUDA")
+        res = simulate(by_name("7pt").build(), "bricks_codegen", plat)
+        f = fraction_of_roofline(res)
+        assert 0.5 < f <= 1.05
+
+    def test_fraction_of_theoretical_ai_below_one(self):
+        # Measured AI can never beat the compulsory-traffic bound.
+        plat = platform("A100", "CUDA")
+        for name in ("7pt", "125pt"):
+            s = by_name(name).build()
+            res = simulate(s, "bricks_codegen", plat)
+            f = fraction_of_theoretical_ai(res, s)
+            assert 0.0 < f < 1.0
+
+
+class TestSpeedupPlane:
+    def test_potential_speedup(self):
+        p = SpeedupPoint("x", ai_fraction=0.5, roofline_fraction=0.5)
+        assert p.potential_speedup == pytest.approx(4.0)
+        assert p.band() == "2x-4x"
+
+    def test_bands(self):
+        assert SpeedupPoint("a", 1.0, 0.9).band() == "<=2x"
+        assert SpeedupPoint("b", 0.3, 0.3).band() == ">4x"
+
+    def test_invalid(self):
+        with pytest.raises(MetricError):
+            SpeedupPoint("x", 0.0, 0.5)
+
+    def test_iso_curve_is_hyperbola(self):
+        pts = iso_curve(2.0, [0.5, 1.0])
+        for x, y in pts:
+            assert x * y == pytest.approx(0.5)
+        with pytest.raises(MetricError):
+            iso_curve(0.5, [1.0])
+
+    def test_summary(self):
+        pts = [
+            SpeedupPoint("good", 0.9, 0.9),
+            SpeedupPoint("bad", 0.3, 0.3),
+        ]
+        s = summarize(pts)
+        assert s["bands"]["<=2x"] == 1 and s["bands"][">4x"] == 1
+        assert s["best"].label == "good"
+        assert s["worst"].label == "bad"
+        with pytest.raises(MetricError):
+            summarize([])
+
+    def test_log_consistency(self):
+        p = SpeedupPoint("x", 0.25, 0.8)
+        assert math.log(p.potential_speedup) == pytest.approx(
+            -math.log(0.25) - math.log(0.8)
+        )

@@ -1,0 +1,125 @@
+"""Tests for the correlation statistics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import dsl, gpu
+from repro.errors import MetricError
+from repro.metrics import (
+    correlate,
+    correlation_stats,
+    loglog_fit,
+    pearson,
+    spearman,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_rejected(self):
+        with pytest.raises(MetricError):
+            pearson([1, 1, 1], [1, 2, 3])
+
+    def test_length_mismatch(self):
+        with pytest.raises(MetricError):
+            pearson([1, 2], [1, 2, 3])
+        with pytest.raises(MetricError):
+            pearson([1], [1])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        xs=st.lists(st.floats(-100, 100), min_size=3, max_size=20),
+        a=st.floats(0.1, 5),
+        b=st.floats(-10, 10),
+    )
+    def test_affine_invariance(self, xs, a, b):
+        if len(set(xs)) < 2:
+            return
+        ys = [a * x + b for x in xs]
+        try:
+            r = pearson(xs, ys)
+        except MetricError:
+            return  # variance underflowed to zero
+        assert r == pytest.approx(1.0, abs=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        xs=st.lists(st.floats(-50, 50), min_size=3, max_size=15),
+        ys=st.lists(st.floats(-50, 50), min_size=3, max_size=15),
+    )
+    def test_bounded(self, xs, ys):
+        n = min(len(xs), len(ys))
+        xs, ys = xs[:n], ys[:n]
+        if len(set(xs)) < 2 or len(set(ys)) < 2:
+            return
+        try:
+            r = pearson(xs, ys)
+        except MetricError:
+            return  # variance underflowed to zero (subnormal inputs)
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+
+
+class TestSpearman:
+    def test_monotone_is_one(self):
+        # Any monotone relationship gives rank correlation 1.
+        xs = [1.0, 2.0, 5.0, 30.0]
+        ys = [math.exp(x) for x in xs]
+        assert spearman(xs, ys) == pytest.approx(1.0)
+
+    def test_ties_averaged(self):
+        # Ties get average ranks; result stays defined.
+        r = spearman([1, 1, 2, 3], [1, 2, 3, 4])
+        assert -1.0 <= r <= 1.0
+
+
+class TestLogLogFit:
+    def test_power_law_recovered(self):
+        xs = [1.0, 2.0, 4.0, 8.0]
+        ys = [3.0 * x**1.5 for x in xs]
+        slope, intercept = loglog_fit(xs, ys)
+        assert slope == pytest.approx(1.5)
+        assert 10**intercept == pytest.approx(3.0)
+
+    def test_positive_required(self):
+        with pytest.raises(MetricError):
+            loglog_fit([1.0, -2.0], [1.0, 2.0])
+
+
+class TestCorrelationStats:
+    @pytest.fixture(scope="class")
+    def model(self):
+        cuda, sycl = [], []
+        for name in ("7pt", "13pt", "27pt", "125pt"):
+            s = dsl.by_name(name).build()
+            for v in ("array", "bricks_codegen"):
+                cuda.append(gpu.simulate(s, v, gpu.platform("A100", "CUDA"),
+                                         stencil_name=name))
+                sycl.append(gpu.simulate(s, v, gpu.platform("A100", "SYCL"),
+                                         stencil_name=name))
+        return correlate(cuda, sycl, quantity="gflops")
+
+    def test_stats_overall(self, model):
+        stats = correlation_stats(model)
+        # Faster kernels are faster under both models: strong positive
+        # rank correlation.
+        assert stats.spearman > 0.5
+        assert stats.geometric_mean_ratio > 1.0  # CUDA wins on average
+        assert "slope" in stats.describe()
+
+    def test_bricks_nearly_diagonal(self, model):
+        stats = correlation_stats(model, "bricks_codegen")
+        # For the codegen variant the two models track each other tightly.
+        assert stats.pearson_log > 0.95
+        assert 1.0 < stats.geometric_mean_ratio < 2.0
+
+    def test_variant_filter_validation(self, model):
+        with pytest.raises(MetricError):
+            correlation_stats(model, "kokkos")

@@ -1,0 +1,80 @@
+"""Tests for the profiler facades and kernel profiles."""
+
+import pytest
+
+from repro.dsl import by_name
+from repro.errors import MetricError, SimulationError
+from repro.gpu import platform, simulate
+from repro.profiling import (
+    INTEL_ADVISOR,
+    KernelProfile,
+    NSIGHT_COMPUTE,
+    ROCPROF,
+    profile,
+    tool_for,
+)
+
+
+def a100_result(name="13pt", variant="bricks_codegen"):
+    return simulate(by_name(name).build(), variant, platform("A100", "CUDA"),
+                    stencil_name=name)
+
+
+class TestKernelProfile:
+    def test_derived_quantities(self):
+        p = KernelProfile("k", "plat", flops=1000, hbm_bytes=2000.0,
+                          l1_bytes=4000.0, time_s=0.001)
+        assert p.arithmetic_intensity == 0.5
+        assert p.gflops == pytest.approx(1e-3)
+        assert p.hbm_bandwidth == pytest.approx(2e6)
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            KernelProfile("k", "p", flops=0, hbm_bytes=1, l1_bytes=1, time_s=1)
+
+    def test_row_format(self):
+        row = profile(a100_result()).row()
+        assert "13pt/bricks_codegen" in row
+        assert "A100-CUDA" in row
+        assert "GF/s" in row
+
+
+class TestTools:
+    def test_vendor_binding(self):
+        assert tool_for("NVIDIA") is NSIGHT_COMPUTE
+        assert tool_for("AMD") is ROCPROF
+        assert tool_for("Intel") is INTEL_ADVISOR
+        with pytest.raises(SimulationError):
+            tool_for("Apple")
+
+    def test_wrong_vendor_rejected(self):
+        res = a100_result()
+        with pytest.raises(SimulationError):
+            ROCPROF.collect(res)
+
+    def test_collect_matches_simulation(self):
+        res = a100_result()
+        prof = profile(res)
+        assert prof.flops == res.flops
+        assert prof.hbm_bytes == res.traffic.hbm_total_bytes
+        assert prof.time_s == res.time_s
+        assert prof.arithmetic_intensity == pytest.approx(
+            res.arithmetic_intensity
+        )
+
+    def test_normalized_flops_identical_across_variants(self):
+        # Paper Section 4.4: the same FLOP count for all kernels of a
+        # stencil, so AI differences reflect data movement only.
+        flops = {
+            v: profile(a100_result(variant=v)).flops
+            for v in ("array", "array_codegen", "bricks_codegen")
+        }
+        assert len(set(flops.values())) == 1
+
+    def test_amd_and_intel_collect(self):
+        res_amd = simulate(by_name("7pt").build(), "bricks_codegen",
+                           platform("MI250X", "HIP"))
+        assert profile(res_amd).platform == "MI250X-HIP"
+        res_intel = simulate(by_name("7pt").build(), "bricks_codegen",
+                             platform("PVC", "SYCL"))
+        assert profile(res_intel).platform == "PVC-SYCL"

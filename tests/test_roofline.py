@@ -1,0 +1,87 @@
+"""Tests for the Roofline model and the mixbench ceiling derivation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MetricError
+from repro.gpu import platform, study_platforms
+from repro.roofline import Roofline, empirical_roofline, sweep
+
+
+class TestRoofline:
+    def test_ridge_point(self):
+        r = Roofline("x", peak_flops=10e12, peak_bw=2e12)
+        assert r.ridge_point == 5.0
+
+    def test_attainable_memory_side(self):
+        r = Roofline("x", peak_flops=10e12, peak_bw=2e12)
+        assert r.attainable(1.0) == 2e12
+        assert r.is_memory_bound(1.0)
+
+    def test_attainable_compute_side(self):
+        r = Roofline("x", peak_flops=10e12, peak_bw=2e12)
+        assert r.attainable(100.0) == 10e12
+        assert not r.is_memory_bound(100.0)
+
+    def test_fraction(self):
+        r = Roofline("x", peak_flops=10e12, peak_bw=2e12)
+        assert r.fraction(1e12, 1.0) == pytest.approx(0.5)
+
+    def test_invalid(self):
+        with pytest.raises(MetricError):
+            Roofline("x", peak_flops=0, peak_bw=1)
+        r = Roofline("x", peak_flops=1e12, peak_bw=1e12)
+        with pytest.raises(MetricError):
+            r.attainable(0.0)
+        with pytest.raises(MetricError):
+            r.fraction(-1.0, 1.0)
+
+    def test_curve(self):
+        r = Roofline("x", peak_flops=10e12, peak_bw=2e12)
+        curve = r.curve([0.5, 5.0, 50.0])
+        assert curve[0] == (0.5, 1e12)
+        assert curve[-1] == (50.0, 10e12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ai=st.floats(0.01, 1e4),
+        peak=st.floats(1e11, 1e14),
+        bw=st.floats(1e10, 1e13),
+    )
+    def test_attainable_properties(self, ai, peak, bw):
+        r = Roofline("p", peak_flops=peak, peak_bw=bw)
+        a = r.attainable(ai)
+        assert a <= peak
+        assert a <= ai * bw + 1e-6
+        # Monotone in AI.
+        assert r.attainable(ai * 2) >= a
+
+
+class TestMixbench:
+    def test_sweep_monotone_then_flat(self):
+        plat = platform("A100", "CUDA")
+        pts = sweep(plat)
+        gf = [p.gflops for p in pts]
+        assert gf == sorted(gf)
+
+    @pytest.mark.parametrize("plat", study_platforms(), ids=lambda p: p.name)
+    def test_empirical_below_vendor_peaks(self, plat):
+        roof = empirical_roofline(plat)
+        assert roof.peak_flops <= plat.arch.peak_fp64
+        assert roof.peak_bw <= plat.arch.hbm_bw
+
+    def test_empirical_matches_profile_fractions(self):
+        plat = platform("A100", "CUDA")
+        roof = empirical_roofline(plat)
+        expect_bw = plat.arch.hbm_bw * plat.profile.mixbench_bw_frac
+        expect_fp = plat.arch.peak_fp64 * plat.profile.mixbench_fp_frac
+        # Launch overhead skews the sweep slightly below the analytic
+        # asymptote.
+        assert roof.peak_bw == pytest.approx(expect_bw, rel=0.02)
+        assert roof.peak_flops == pytest.approx(expect_fp, rel=0.02)
+
+    def test_a100_bandwidth_ceiling_realistic(self):
+        # mixbench on A100 measures ~1.4 TB/s.
+        roof = empirical_roofline(platform("A100", "CUDA"))
+        assert 1.3e12 < roof.peak_bw < 1.5e12

@@ -1,0 +1,143 @@
+"""Tests for temporal blocking: composition, fusion, and the depth model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro import dsl, gpu, temporal
+from repro.errors import DSLError, LayoutError, SimulationError
+from repro.reference import apply_interior, apply_periodic, random_field
+
+
+class TestCompose:
+    def test_composition_radius_adds(self):
+        s = dsl.star(1)
+        c = temporal.compose(s, s)
+        assert c.radius == 2
+
+    def test_composition_matches_sequential_application(self):
+        case = dsl.by_name("7pt")
+        s, b = case.build(), case.default_bindings()
+        c = temporal.power(s, 2)
+        field = random_field((12, 12, 12), seed=1)
+        two_steps = apply_periodic(s, apply_periodic(s, field, b), b)
+        composed = apply_periodic(c, field, b)
+        np.testing.assert_allclose(composed, two_steps, rtol=1e-12, atol=1e-12)
+
+    def test_symbolic_coefficients_multiply(self):
+        s = dsl.star(1)
+        c = temporal.compose(s, s)
+        # The centre tap of the square holds B0^2 + 6 B1^2 terms.
+        centre = c.taps[(0, 0, 0)]
+        val = centre.evaluate({"B0": 2.0, "B1": 3.0})
+        assert val == pytest.approx(2.0**2 + 6 * 3.0**2)
+
+    def test_power_one_is_identity(self):
+        s = dsl.star(2)
+        assert temporal.power(s, 1) is s
+
+    def test_power_validation(self):
+        with pytest.raises(DSLError):
+            temporal.power(dsl.star(1), 0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DSLError):
+            temporal.compose(dsl.star(1), dsl.star(1, ndim=2))
+
+    def test_cancellation_detected(self):
+        plus = dsl.from_weights({(0, 0, 0): 1.0})
+        minus = dsl.from_weights({(0, 0, 0): -1.0})
+        c = temporal.compose(plus, minus)
+        assert c.weights()[(0, 0, 0)] == -1.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        w1=hst.floats(-2, 2).filter(lambda v: abs(v) > 1e-3),
+        w2=hst.floats(-2, 2).filter(lambda v: abs(v) > 1e-3),
+        seed=hst.integers(0, 30),
+    )
+    def test_composition_property(self, w1, w2, seed):
+        a = dsl.from_weights({(0, 0, 0): w1, (1, 0, 0): 0.5, (0, -1, 0): -0.25})
+        b = dsl.from_weights({(0, 0, 0): w2, (0, 0, 1): 1.0})
+        c = temporal.compose(b, a)
+        f = random_field((8, 8, 8), seed=seed)
+        np.testing.assert_allclose(
+            apply_periodic(c, f),
+            apply_periodic(b, apply_periodic(a, f)),
+            rtol=1e-10, atol=1e-10,
+        )
+
+
+class TestFusedApply:
+    def test_matches_sequential(self):
+        case = dsl.by_name("13pt")
+        s, b = case.build(), case.default_bindings()
+        steps, r = 3, s.radius
+        padded = random_field((8 + 2 * steps * r,) * 3, seed=2)
+        fused = temporal.fused_apply(s, steps, padded, b)
+        seq = padded
+        for _ in range(steps):
+            seq = apply_interior(s, seq, b)
+        np.testing.assert_allclose(fused, seq, rtol=1e-12, atol=1e-12)
+        assert fused.shape == (8, 8, 8)
+
+    def test_halo_validation(self):
+        s = dsl.star(2)
+        with pytest.raises(LayoutError):
+            temporal.fused_apply(s, 3, np.zeros((10, 10, 10)))
+        with pytest.raises(LayoutError):
+            temporal.fused_apply(s, 0, np.zeros((20, 20, 20)))
+
+    def test_fused_sweep_periodic(self):
+        case = dsl.by_name("7pt")
+        s, b = case.build(), case.default_bindings()
+        field = random_field((16, 16, 32), seed=3)
+        fused = temporal.fused_sweep(s, 2, field, b, tile=(8, 8, 16))
+        ref = apply_periodic(s, apply_periodic(s, field, b), b)
+        np.testing.assert_allclose(fused, ref, rtol=1e-12, atol=1e-12)
+
+    def test_fused_sweep_tiling_validation(self):
+        s = dsl.star(1)
+        with pytest.raises(LayoutError):
+            temporal.fused_sweep(s, 2, np.zeros((10, 16, 16)), tile=(8, 8, 8))
+
+
+class TestDepthModel:
+    def test_redundancy_grows_with_depth(self):
+        s = dsl.star(1)
+        plat = gpu.platform("A100", "CUDA")
+        e1 = temporal.fusion_estimate(s, plat, 1)
+        e4 = temporal.fusion_estimate(s, plat, 4)
+        assert e1.redundancy == pytest.approx(1.0)  # single sweep: none
+        assert e4.redundancy > 1.0
+        assert e4.hbm_bytes_per_step < e1.hbm_bytes_per_step
+
+    def test_low_ai_stencil_wants_fusion(self):
+        # 7pt is deeply memory-bound: fusing beats a single sweep.
+        s = dsl.star(1)
+        best, ests = temporal.optimal_depth(s, gpu.platform("A100", "CUDA"))
+        assert best > 1
+        assert ests[best - 1].time_per_step_s < ests[0].time_per_step_s
+
+    def test_high_ai_stencil_prefers_shallow(self):
+        # The 125pt cube is already near compute-bound: depth stays low.
+        s = dsl.cube(2)
+        best_hi, _ = temporal.optimal_depth(
+            s, gpu.platform("MI250X", "HIP"), tile=(32, 16, 16)
+        )
+        s_lo = dsl.star(1)
+        best_lo, _ = temporal.optimal_depth(
+            s_lo, gpu.platform("MI250X", "HIP"), tile=(32, 16, 16)
+        )
+        assert best_hi < best_lo
+
+    def test_validation(self):
+        s = dsl.star(2)
+        plat = gpu.platform("A100", "CUDA")
+        with pytest.raises(SimulationError):
+            temporal.fusion_estimate(s, plat, 0)
+        with pytest.raises(SimulationError):
+            temporal.fusion_estimate(s, plat, 10, tile=(8, 8, 8))
+        with pytest.raises(SimulationError):
+            temporal.optimal_depth(s, plat, tile=(2, 2, 2))
