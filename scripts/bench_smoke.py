@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Observability regression gate: one traced simulate() must emit every
+pipeline-stage span.
+
+CI runs this after the unit tests.  If an instrumentation point is ever
+dropped (a refactor removes a ``with span(...)``), the trace goes dark
+silently — this script turns that into a hard failure.  It also checks
+the disabled-tracer overhead stays negligible.
+
+Exit status: 0 = all expected spans present, 1 = something is missing.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import obs
+from repro.dsl.shapes import by_name
+from repro.gpu.progmodel import platform
+from repro.gpu.simulator import simulate
+
+#: Every span one simulate() call must produce, pipeline order.
+EXPECTED_SPANS = (
+    "simulate",
+    "codegen",
+    "codegen.generate",
+    "cost",
+    "traffic",
+    "traffic.estimate",
+    "timing",
+)
+
+#: Counters one simulate() call must bump.
+EXPECTED_COUNTERS = ("simulate.calls", "simulate.tiles", "codegen.vector_ops")
+
+
+def main() -> int:
+    tracer = obs.set_tracer(obs.Tracer(enabled=True))
+    registry = obs.set_registry(obs.MetricsRegistry())
+
+    result = simulate(
+        by_name("13pt").build(),
+        "bricks_codegen",
+        platform("A100", "CUDA"),
+        domain=(256, 256, 256),
+        stencil_name="13pt",
+    )
+    print(result.describe())
+    print()
+    print(obs.render_tree(tracer.roots()))
+    print()
+    print(registry.render_table())
+    print()
+
+    failures = []
+    recorded = {s.name for s in tracer.spans()}
+    for name in EXPECTED_SPANS:
+        if name not in recorded:
+            failures.append(f"missing pipeline span: {name}")
+    for name in EXPECTED_COUNTERS:
+        try:
+            if registry.get(name).value <= 0:
+                failures.append(f"counter never incremented: {name}")
+        except Exception:
+            failures.append(f"missing counter: {name}")
+
+    # Disabled-tracer overhead guard: span call sites must stay near-free.
+    obs.set_tracer(obs.Tracer(enabled=False))
+    t0 = time.perf_counter()
+    for _ in range(100_000):
+        with obs.span("hot", a=1):
+            pass
+    elapsed = time.perf_counter() - t0
+    print(f"disabled-tracer overhead: {elapsed * 1e3:.1f} ms / 100k spans")
+    if elapsed > 2.0:
+        failures.append(
+            f"disabled tracer too slow: {elapsed:.2f}s per 100k spans"
+        )
+
+    if failures:
+        print("\nOBSERVABILITY GATE FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nobservability gate OK: all pipeline spans + counters present")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

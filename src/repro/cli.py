@@ -3,11 +3,19 @@
 Installed as the ``repro-stencil`` console script::
 
     repro-stencil study --csv results.csv
+    repro-stencil study --trace trace.json --trace-format chrome
     repro-stencil table 3
     repro-stencil figure 5 --ascii
     repro-stencil simulate --stencil 13pt --arch A100 --model CUDA
     repro-stencil emit --stencil 13pt --model SYCL --layout brick
     repro-stencil tune --stencil 27pt --arch PVC --model SYCL
+    repro-stencil obs
+
+Every subcommand accepts ``--trace FILE`` / ``--trace-format
+{jsonl,chrome,tree}``: the run executes under an enabled tracer and the
+span tree is exported to ``FILE`` on exit (``chrome`` output loads in
+``chrome://tracing`` / Perfetto).  ``obs`` runs the full sweep and
+prints the span tree plus the metrics table.
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro import harness
+from repro import harness, obs
 from repro.bricks.layout import BrickDims
 from repro.codegen import CodegenOptions, generate
 from repro.codegen.emitters import CPU_ISAS, MODELS, emit as emit_source
@@ -27,7 +35,7 @@ from repro.tuning import Autotuner
 
 
 def _study(args) -> int:
-    study = harness.run_study()
+    study = harness.cached_study()
     print(harness.summary(study))
     if args.csv:
         harness.write_csv(study, args.csv)
@@ -45,14 +53,14 @@ def _table(args) -> int:
     if args.number == 4:
         print(harness.render_table4())
         return 0
-    study = harness.run_study()
+    study = harness.cached_study()
     table = harness.table3(study) if args.number == 3 else harness.table5(study)
     print(table.render())
     return 0
 
 
 def _figure(args) -> int:
-    study = harness.run_study()
+    study = harness.cached_study()
     n = args.number
     if n == 3:
         for panel in harness.fig3(study):
@@ -117,32 +125,77 @@ def _tune(args) -> int:
     return 0
 
 
+def _obs(args) -> int:
+    # Pre-create the cache counters so the table always shows both rows
+    # (a fresh process records only a miss).
+    obs.counter("study_cache.hits")
+    obs.counter("study_cache.misses")
+    study = harness.cached_study()
+    tracer = obs.get_tracer()
+    print(
+        f"observability report: {len(study)} kernel runs, "
+        f"{tracer.span_count()} spans recorded"
+    )
+    print()
+    depth = args.max_depth if args.max_depth > 0 else None
+    print(obs.render_tree(tracer.roots(), max_depth=depth))
+    print()
+    print(obs.get_registry().render_table())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-stencil",
         description="Blocked-stencil performance-portability reproduction "
         "(Antepara et al., SC-W 2023)",
     )
+    # Tracing flags are shared by every subcommand (argparse "parents"),
+    # so they can be given after the subcommand name.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--trace", metavar="FILE",
+        help="run under an enabled tracer and export the span tree here",
+    )
+    common.add_argument(
+        "--trace-format", default="jsonl", choices=obs.TRACE_FORMATS,
+        help="trace export format (chrome loads in chrome://tracing)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("study", help="run the full evaluation sweep")
+    p = sub.add_parser("study", help="run the full evaluation sweep",
+                       parents=[common])
     p.add_argument("--csv", help="write raw results to this CSV file")
     p.add_argument("--json", help="save the study to this JSON file")
     p.set_defaults(func=_study)
 
-    p = sub.add_parser("table", help="regenerate a paper table")
+    p = sub.add_parser("table", help="regenerate a paper table",
+                       parents=[common])
     p.add_argument("number", type=int, choices=(2, 3, 4, 5))
     p.set_defaults(func=_table)
 
-    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p = sub.add_parser("figure", help="regenerate a paper figure",
+                       parents=[common])
     p.add_argument("number", type=int, choices=(3, 4, 5, 6, 7))
     p.add_argument("--ascii", action="store_true", help="text-mode plot")
     p.set_defaults(func=_figure)
 
+    p = sub.add_parser(
+        "obs",
+        help="run the sweep and print the span tree + metrics table",
+        parents=[common],
+    )
+    p.add_argument(
+        "--max-depth", type=int, default=3,
+        help="span tree depth to print (0 = unlimited, default 3)",
+    )
+    p.set_defaults(func=_obs)
+
     archs = sorted({a for a, _ in PROFILES})
     models = sorted({m for _, m in PROFILES})
 
-    p = sub.add_parser("simulate", help="profile one kernel sweep")
+    p = sub.add_parser("simulate", help="profile one kernel sweep",
+                       parents=[common])
     p.add_argument("--stencil", required=True, choices=sorted(catalog()))
     p.add_argument("--arch", required=True, choices=archs)
     p.add_argument("--model", required=True, choices=models)
@@ -151,7 +204,8 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar=("NI", "NJ", "NK"))
     p.set_defaults(func=_simulate)
 
-    p = sub.add_parser("emit", help="emit generated kernel source")
+    p = sub.add_parser("emit", help="emit generated kernel source",
+                       parents=[common])
     p.add_argument("--stencil", required=True, choices=sorted(catalog()))
     p.add_argument("--model", required=True, choices=MODELS + CPU_ISAS)
     p.add_argument("--layout", default="brick", choices=("array", "brick"))
@@ -161,7 +215,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bi", type=int, help="brick i-extent (default: vl)")
     p.set_defaults(func=_emit)
 
-    p = sub.add_parser("tune", help="autotune brick shape for a platform")
+    p = sub.add_parser("tune", help="autotune brick shape for a platform",
+                       parents=[common])
     p.add_argument("--stencil", required=True, choices=sorted(catalog()))
     p.add_argument("--arch", required=True, choices=archs)
     p.add_argument("--model", required=True, choices=models)
@@ -172,7 +227,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    # ``--trace`` (any subcommand) and the ``obs`` report both need an
+    # enabled tracer; everything else runs with tracing off (no-op).
+    tracing = bool(args.trace) or args.command == "obs"
+    previous = obs.get_tracer()
+    tracer = obs.set_tracer(obs.Tracer(enabled=True)) if tracing else previous
+    try:
+        rc = args.func(args)
+        if args.trace:
+            try:
+                obs.write_trace(tracer.roots(), args.trace, args.trace_format)
+            except OSError as exc:
+                print(f"error: cannot write trace to {args.trace}: {exc}",
+                      file=sys.stderr)
+                return 1
+            print(f"trace ({args.trace_format}) written to {args.trace}")
+        return rc
+    finally:
+        if tracing:
+            obs.set_tracer(previous)
 
 
 if __name__ == "__main__":

@@ -38,6 +38,7 @@ from repro.codegen.vector_ir import (
 )
 from repro.dsl.stencil import Stencil
 from repro.errors import CodegenError
+from repro.obs import counter, get_tracer
 
 STRATEGIES = ("naive", "gather", "scatter", "auto")
 
@@ -86,21 +87,31 @@ def generate(
         raise CodegenError(f"stencil radius {r} must be smaller than vl {vl}")
     dims.check_radius(r)
 
-    if options.strategy == "naive":
-        prog = _Builder(stencil, dims, vl).naive()
-    elif options.strategy == "gather":
-        prog = _Builder(stencil, dims, vl).gather(reuse=options.reuse)
-    elif options.strategy == "scatter":
-        prog = _Builder(stencil, dims, vl).scatter()
-    else:  # auto: profitability rule — fewest ops, then least register
-        # pressure; final tie goes to gather (grouped sums execute fewer
-        # FLOPs than scatter's per-tap FMAs).
-        g = _Builder(stencil, dims, vl).gather(reuse=options.reuse)
-        s = _Builder(stencil, dims, vl).scatter()
-        g_key = (len(g.ops), g.max_live_registers(), 0)
-        s_key = (len(s.ops), s.max_live_registers(), 1)
-        prog = g if g_key <= s_key else s
-    prog.validate()
+    with get_tracer().span(
+        "codegen.generate",
+        strategy=options.strategy,
+        vl=vl,
+        tile=f"{bk}x{bj}x{bi}",
+    ) as sp:
+        if options.strategy == "naive":
+            prog = _Builder(stencil, dims, vl).naive()
+        elif options.strategy == "gather":
+            prog = _Builder(stencil, dims, vl).gather(reuse=options.reuse)
+        elif options.strategy == "scatter":
+            prog = _Builder(stencil, dims, vl).scatter()
+        else:  # auto: profitability rule — fewest ops, then least register
+            # pressure; final tie goes to gather (grouped sums execute fewer
+            # FLOPs than scatter's per-tap FMAs).
+            g = _Builder(stencil, dims, vl).gather(reuse=options.reuse)
+            s = _Builder(stencil, dims, vl).scatter()
+            g_key = (len(g.ops), g.max_live_registers(), 0)
+            s_key = (len(s.ops), s.max_live_registers(), 1)
+            prog = g if g_key <= s_key else s
+        prog.validate()
+        counter("codegen.programs").inc()
+        if sp is not None:
+            sp.set_attr("chosen", prog.strategy)
+            sp.set_attr("ops", len(prog.ops))
     return prog
 
 

@@ -31,3 +31,7 @@ class SimulationError(ReproError):
 
 class MetricError(ReproError):
     """Performance-portability metric could not be computed (missing platform)."""
+
+
+class ObservabilityError(ReproError):
+    """Tracing/metrics layer misuse (metric type clash, bad export format)."""

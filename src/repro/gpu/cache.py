@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs import counter
 
 
 @dataclass
@@ -97,11 +98,21 @@ class CacheSim:
         return False
 
     def access_trace(self, lines: Iterable[int], write: bool = False) -> int:
-        """Touch a sequence of line addresses; returns the miss count."""
-        before = self.stats.misses
+        """Touch a sequence of line addresses; returns the miss count.
+
+        Publishes batch deltas to the global ``cache.*`` counters (one
+        registry update per trace, keeping the per-access loop clean).
+        """
+        before_misses = self.stats.misses
+        before_hits = self.stats.hits
+        before_accesses = self.stats.accesses
         for addr in lines:
             self.access(int(addr), write)
-        return self.stats.misses - before
+        misses = self.stats.misses - before_misses
+        counter("cache.accesses").inc(self.stats.accesses - before_accesses)
+        counter("cache.hits").inc(self.stats.hits - before_hits)
+        counter("cache.misses").inc(misses)
+        return misses
 
     def access_array(self, lines: np.ndarray, write: bool = False) -> int:
         """Touch a numpy array of line addresses (flattened in order)."""
@@ -116,6 +127,7 @@ class CacheSim:
                     dirty += 1
             s.clear()
         self.stats.writebacks += dirty
+        counter("cache.writebacks").inc(dirty)
         return dirty
 
     # ---- derived ------------------------------------------------------------

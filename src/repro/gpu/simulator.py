@@ -26,6 +26,7 @@ from repro.dsl.analysis import total_flops
 from repro.dsl.stencil import Stencil
 from repro.errors import SimulationError
 from repro.gpu.progmodel import VARIANTS, Platform
+from repro.obs import counter, span
 from repro.gpu.timing import TimingBreakdown, kernel_time
 from repro.gpu.traffic import Traffic, estimate_traffic
 from repro.util import dims_to_shape, prod
@@ -106,30 +107,47 @@ def simulate(
     if variant not in VARIANTS:
         raise SimulationError(f"unknown variant '{variant}'; known: {VARIANTS}")
     layout, strategy = VARIANT_CONFIG[variant]
-    dims = dims or tile_for(platform)
-    simd = platform.arch.simd_width
-    # Custom tiles narrower than the SIMD width fall back to one vector
-    # per row.
-    vl = vector_length or (simd if dims.dims[0] % simd == 0 else dims.dims[0])
-    program = generate(stencil, dims, CodegenOptions(vl, strategy))
-    cost = cost_of(program)
-    vp = platform.profile.variant(variant)
-    tile_shape = dims.shape
-    domain_np = dims_to_shape(domain)
-    traffic = estimate_traffic(
-        stencil, layout, cost, domain_np, platform.arch, platform.profile, vp,
-        tile_shape,
-    )
-    ntiles = prod(domain_np) // prod(tile_shape)
-    timing = kernel_time(platform.arch, platform.profile, vp, traffic, cost, ntiles)
-    return SimulationResult(
-        platform=platform,
+    name = stencil_name or stencil.description()
+    with span(
+        "simulate",
+        stencil=name,
         variant=variant,
-        stencil_name=stencil_name or stencil.description(),
-        domain=domain,
-        flops=total_flops(stencil, domain),
-        traffic=traffic,
-        timing=timing,
-        cost=cost,
-        strategy=program.strategy,
-    )
+        platform=platform.name,
+        domain=f"{domain[0]}x{domain[1]}x{domain[2]}",
+    ):
+        dims = dims or tile_for(platform)
+        simd = platform.arch.simd_width
+        # Custom tiles narrower than the SIMD width fall back to one
+        # vector per row.
+        vl = vector_length or (simd if dims.dims[0] % simd == 0 else dims.dims[0])
+        with span("codegen", strategy=strategy, vl=vl):
+            program = generate(stencil, dims, CodegenOptions(vl, strategy))
+        with span("cost"):
+            cost = cost_of(program)
+        vp = platform.profile.variant(variant)
+        tile_shape = dims.shape
+        domain_np = dims_to_shape(domain)
+        with span("traffic", layout=layout):
+            traffic = estimate_traffic(
+                stencil, layout, cost, domain_np, platform.arch,
+                platform.profile, vp, tile_shape,
+            )
+        ntiles = prod(domain_np) // prod(tile_shape)
+        with span("timing", ntiles=ntiles):
+            timing = kernel_time(
+                platform.arch, platform.profile, vp, traffic, cost, ntiles
+            )
+        counter("simulate.calls").inc()
+        counter("simulate.tiles").inc(ntiles)
+        counter("codegen.vector_ops").inc(len(program.ops))
+        return SimulationResult(
+            platform=platform,
+            variant=variant,
+            stencil_name=name,
+            domain=domain,
+            flops=total_flops(stencil, domain),
+            traffic=traffic,
+            timing=timing,
+            cost=cost,
+            strategy=program.strategy,
+        )

@@ -29,6 +29,7 @@ from repro.dsl.stencil import Stencil
 from repro.errors import SimulationError
 from repro.gpu.arch import GPUArchitecture
 from repro.gpu.progmodel import ModelProfile, VariantProfile
+from repro.obs import get_tracer
 from repro.util import ceil_div, prod
 
 LAYOUTS = ("array", "brick")
@@ -95,6 +96,26 @@ def estimate_traffic(
     """
     if layout not in LAYOUTS:
         raise SimulationError(f"unknown layout '{layout}'; known: {LAYOUTS}")
+    with get_tracer().span("traffic.estimate", layout=layout) as sp:
+        traffic = _estimate(
+            stencil, layout, cost, domain, arch, profile, vp, tile_shape
+        )
+        if sp is not None:
+            sp.set_attr("hbm_gb", round(traffic.hbm_total_bytes / 1e9, 3))
+            sp.set_attr("l1_gb", round(traffic.l1_bytes / 1e9, 3))
+    return traffic
+
+
+def _estimate(
+    stencil: Stencil,
+    layout: str,
+    cost: ProgramCost,
+    domain: Tuple[int, int, int],
+    arch: GPUArchitecture,
+    profile: ModelProfile,
+    vp: VariantProfile,
+    tile_shape: Tuple[int, int, int],
+) -> Traffic:
     nk, nj, ni = domain
     bk, bj, bi = tile_shape
     if any(n % b != 0 for n, b in zip(domain, tile_shape)):

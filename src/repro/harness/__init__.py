@@ -14,6 +14,8 @@ from repro.harness.experiments import (
     STENCIL_NAMES,
     ExperimentConfig,
     StudyResults,
+    cached_study,
+    clear_study_cache,
     iter_results,
     run_study,
 )
@@ -30,8 +32,10 @@ from repro.harness.figures import (
 )
 from repro.harness.reporting import result_row, summary, to_csv, write_csv
 from repro.harness.serialization import (
+    SCHEMA_VERSION,
     compare_rows,
     dump_study,
+    load_csv_rows,
     load_rows,
     study_to_dict,
 )
@@ -50,8 +54,12 @@ __all__ = [
     "ExperimentConfig",
     "PortabilityTable",
     "RooflinePanel",
+    "SCHEMA_VERSION",
     "STENCIL_NAMES",
     "StudyResults",
+    "cached_study",
+    "clear_study_cache",
+    "load_csv_rows",
     "fig3",
     "fig4",
     "fig5",

@@ -17,6 +17,7 @@ from repro.dsl.stencil import Stencil
 from repro.errors import MetricError
 from repro.gpu.progmodel import VARIANTS, Platform, study_platforms
 from repro.gpu.simulator import SimulationResult, simulate
+from repro.obs import counter, span
 
 STENCIL_NAMES: Tuple[str, ...] = tuple(c.name for c in TABLE2)
 
@@ -72,18 +73,56 @@ def run_study(config: ExperimentConfig | None = None) -> StudyResults:
     """Simulate the full matrix; deterministic, a few seconds of work."""
     config = config or ExperimentConfig()
     study = StudyResults(config=config)
-    for name in config.stencils:
-        stencil = by_name(name).build()
-        for platform in config.platforms():
-            for variant in config.variants:
-                study.results[(name, platform.name, variant)] = simulate(
-                    stencil,
-                    variant,
-                    platform,
-                    domain=config.domain,
-                    stencil_name=name,
-                )
+    npoints = (
+        len(config.stencils) * len(config.platforms()) * len(config.variants)
+    )
+    with span("run_study", points=npoints):
+        for name in config.stencils:
+            stencil = by_name(name).build()
+            for platform in config.platforms():
+                for variant in config.variants:
+                    with span(
+                        "study.point",
+                        stencil=name,
+                        platform=platform.name,
+                        variant=variant,
+                    ):
+                        study.results[(name, platform.name, variant)] = simulate(
+                            stencil,
+                            variant,
+                            platform,
+                            domain=config.domain,
+                            stencil_name=name,
+                        )
+        counter("study.points").inc(len(study.results))
     return study
+
+
+#: Memoised full-sweep results, keyed on the (hashable) sweep config.
+_STUDY_CACHE: Dict[ExperimentConfig, StudyResults] = {}
+
+
+def cached_study(config: ExperimentConfig | None = None) -> StudyResults:
+    """Memoised :func:`run_study`: one sweep per config per process.
+
+    The CLI's table/figure/obs paths all render from the same sweep, so
+    repeated invocations within a process (or one invocation rendering
+    several artifacts) simulate the 90-point matrix exactly once.  Cache
+    hits and misses are recorded as ``study_cache.*`` counters and as a
+    ``cache`` attribute on the ``cached_study`` span.
+    """
+    config = config or ExperimentConfig()
+    hit = config in _STUDY_CACHE
+    counter("study_cache.hits" if hit else "study_cache.misses").inc()
+    with span("cached_study", cache="hit" if hit else "miss"):
+        if not hit:
+            _STUDY_CACHE[config] = run_study(config)
+    return _STUDY_CACHE[config]
+
+
+def clear_study_cache() -> None:
+    """Drop all memoised sweeps (tests and long-lived processes)."""
+    _STUDY_CACHE.clear()
 
 
 def iter_results(study: StudyResults) -> Iterable[SimulationResult]:

@@ -1,12 +1,23 @@
-"""JSON persistence for study results.
+"""JSON/CSV persistence for study results, with a schema round-trip guard.
 
 Saves the flat result rows plus the sweep configuration, so analyses
 (or regression comparisons against a previous run) can reload a study
 without re-simulating.
+
+Two version stamps guard the round-trip:
+
+* ``format_version`` — the JSON container layout (top-level keys);
+* ``schema_version`` — the *row* schema (the CSV field set).  Bump it
+  whenever :data:`~repro.harness.reporting.CSV_FIELDS` changes meaning,
+  so stale baselines are rejected loudly instead of mis-compared.
+
+CSV files carry no header beyond the field row itself; :func:`load_csv_rows`
+treats that header as the schema stamp and rejects mismatches.
 """
 
 from __future__ import annotations
 
+import csv
 import json
 from typing import Dict, List
 
@@ -16,10 +27,14 @@ from repro.harness.reporting import CSV_FIELDS, result_row
 
 FORMAT_VERSION = 1
 
+#: Version of the per-row result schema (the CSV_FIELDS contract).
+SCHEMA_VERSION = 1
+
 
 def study_to_dict(study: StudyResults) -> Dict:
     return {
         "format_version": FORMAT_VERSION,
+        "schema_version": SCHEMA_VERSION,
         "domain": list(study.config.domain),
         "stencils": list(study.config.stencils),
         "variants": list(study.config.variants),
@@ -33,12 +48,23 @@ def dump_study(study: StudyResults, path: str) -> None:
 
 
 def load_rows(path: str) -> List[Dict]:
-    """Load the flat result rows of a saved study."""
+    """Load the flat result rows of a saved study.
+
+    Rejects files whose container or row schema version does not match
+    this library's, so regression comparisons never silently mix
+    incompatible result generations.
+    """
     with open(path) as f:
         doc = json.load(f)
     if doc.get("format_version") != FORMAT_VERSION:
         raise MetricError(
             f"unsupported study file version {doc.get('format_version')!r}"
+        )
+    schema = doc.get("schema_version")
+    if schema != SCHEMA_VERSION:
+        raise MetricError(
+            f"study row schema version {schema!r} does not match this "
+            f"library's {SCHEMA_VERSION}; re-run the study to regenerate"
         )
     rows = doc["results"]
     for row in rows:
@@ -46,6 +72,27 @@ def load_rows(path: str) -> List[Dict]:
         if missing:
             raise MetricError(f"saved row missing fields {sorted(missing)}")
     return rows
+
+
+def load_csv_rows(path: str) -> List[Dict]:
+    """Load rows from :func:`~repro.harness.reporting.write_csv` output.
+
+    The header row doubles as the schema stamp: it must match
+    ``CSV_FIELDS`` exactly (same names, same order), otherwise the file
+    was written by a different schema generation and is rejected.
+    """
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise MetricError(f"{path}: empty CSV (no header row)") from None
+        if tuple(header) != CSV_FIELDS:
+            raise MetricError(
+                f"{path}: CSV header {header} does not match schema "
+                f"version {SCHEMA_VERSION} fields {list(CSV_FIELDS)}"
+            )
+        return [dict(zip(CSV_FIELDS, row)) for row in reader]
 
 
 def compare_rows(old: List[Dict], new: List[Dict], rtol: float = 0.02) -> List[str]:

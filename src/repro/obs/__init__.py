@@ -1,0 +1,81 @@
+"""``repro.obs`` — zero-dependency tracing + metrics for the pipeline.
+
+The observability substrate the ROADMAP's perf PRs justify themselves
+with: nested monotonic-clock spans (:mod:`repro.obs.trace`), a registry
+of counters/gauges/histograms (:mod:`repro.obs.metrics`), and exporters
+to JSON-lines, Chrome trace-event JSON, and a terminal tree
+(:mod:`repro.obs.export`).
+
+Typical use::
+
+    from repro import obs
+
+    tracer = obs.enable_tracing()
+    study = harness.run_study()
+    obs.write_trace(tracer.roots(), "trace.json", fmt="chrome")
+    print(obs.get_registry().render_table())
+
+Everything is a cheap no-op while tracing is disabled (the library
+default), so instrumentation lives permanently in the hot paths.
+"""
+
+from repro.obs.export import (
+    TRACE_FORMATS,
+    render_tree,
+    span_to_dict,
+    to_chrome,
+    to_jsonl,
+    write_trace,
+)
+from repro.obs.instrument import stage, traced
+from repro.obs.metrics import (
+    TIME_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    set_registry,
+)
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    span,
+)
+
+__all__ = [
+    "TRACE_FORMATS",
+    "TIME_BUCKETS_S",
+    "NOOP_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "counter",
+    "disable_tracing",
+    "enable_tracing",
+    "gauge",
+    "get_registry",
+    "get_tracer",
+    "histogram",
+    "render_tree",
+    "set_registry",
+    "set_tracer",
+    "span",
+    "span_to_dict",
+    "stage",
+    "to_chrome",
+    "to_jsonl",
+    "traced",
+    "write_trace",
+]

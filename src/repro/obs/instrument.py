@@ -1,0 +1,62 @@
+"""Instrumentation helpers: decorator + timed-stage utilities.
+
+Keeps call-site noise down for the common patterns:
+
+* :func:`traced` — wrap a function in a named span (attributes fixed at
+  decoration time);
+* :func:`stage` — open a span *and* record its wall time into the
+  per-stage histogram ``stage.<name>.seconds``, the shape the CLI's
+  metrics table reports for pipeline stages.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional, TypeVar
+
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
+
+__all__ = ["traced", "stage"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def traced(name: Optional[str] = None, **attrs: Any) -> Callable[[F], F]:
+    """Decorator: run the function inside a span on the global tracer.
+
+    ``name`` defaults to the function's qualified name; ``attrs`` are
+    static attributes stamped on every invocation's span.
+    """
+
+    def deco(fn: F) -> F:
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            with get_tracer().span(label, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return deco
+
+
+@contextmanager
+def stage(name: str, **attrs: Any) -> Iterator[None]:
+    """Span + ``stage.<name>.seconds`` histogram for one pipeline stage.
+
+    The histogram is recorded even with tracing disabled, so the metrics
+    table always has per-stage timing; the span only exists when the
+    tracer is on.
+    """
+    t0 = time.monotonic()
+    with get_tracer().span(name, **attrs):
+        try:
+            yield
+        finally:
+            get_registry().histogram(f"stage.{name}.seconds").observe(
+                time.monotonic() - t0
+            )

@@ -1,0 +1,254 @@
+"""Counters, gauges, and fixed-bucket histograms for the pipeline.
+
+A :class:`MetricsRegistry` is a flat, named collection of instruments
+(the Prometheus trio, minus labels):
+
+* :class:`Counter` — monotonically increasing count (tiles simulated,
+  cache hits, vector ops emitted);
+* :class:`Gauge` — a last-written value (current study size, occupancy
+  of the most recent kernel);
+* :class:`Histogram` — fixed upper-bound buckets plus sum/count
+  (per-stage wall times).
+
+Instruments are get-or-create by name, so call sites never need setup
+code, and increments stay cheap enough to leave in hot paths.  The
+module-level :func:`counter`/:func:`gauge`/:func:`histogram` helpers hit
+the process-global registry that the CLI's ``obs`` report reads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "TIME_BUCKETS_S",
+]
+
+#: Default histogram buckets for wall times, in seconds (100us .. 10s).
+TIME_BUCKETS_S: Tuple[float, ...] = (
+    1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ObservabilityError(
+                f"counter '{self.name}' cannot decrease (inc by {n})"
+            )
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """Last-written value (may go up or down)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts of observations <= each bound.
+
+    ``bounds`` are inclusive upper edges; observations above the last
+    bound land in the overflow bucket.  ``sum``/``count`` give the mean.
+    """
+
+    __slots__ = ("name", "bounds", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] = TIME_BUCKETS_S
+    ) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ObservabilityError(
+                f"histogram '{name}' needs sorted, non-empty bucket bounds"
+            )
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self._counts = [0] * (len(self.bounds) + 1)  # +1 overflow
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        idx = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                idx = i
+                break
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> List[Tuple[Optional[float], int]]:
+        """(upper_bound, count) pairs; the final bound is None (overflow)."""
+        edges: List[Optional[float]] = list(self.bounds) + [None]
+        return list(zip(edges, self._counts))
+
+
+class MetricsRegistry:
+    """Flat, named, get-or-create collection of instruments."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, cls, *args):
+        with self._lock:
+            m = self._metrics.get(name)
+            if m is None:
+                m = self._metrics[name] = cls(name, *args)
+            elif not isinstance(m, cls):
+                raise ObservabilityError(
+                    f"metric '{name}' is a {type(m).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = TIME_BUCKETS_S
+    ) -> Histogram:
+        return self._get_or_create(name, Histogram, bounds)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str):
+        with self._lock:
+            if name not in self._metrics:
+                raise ObservabilityError(f"no metric named '{name}'")
+            return self._metrics[name]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data view of every instrument (JSON-serialisable)."""
+        out: Dict[str, object] = {}
+        for name in self.names():
+            m = self.get(name)
+            if isinstance(m, Counter):
+                out[name] = m.value
+            elif isinstance(m, Gauge):
+                out[name] = m.value
+            else:
+                assert isinstance(m, Histogram)
+                out[name] = {
+                    "count": m.count,
+                    "sum": m.sum,
+                    "mean": m.mean,
+                    "buckets": [
+                        [b, c] for b, c in m.bucket_counts() if c
+                    ],
+                }
+        return out
+
+    def render_table(self) -> str:
+        """Aligned, name-sorted text table of every instrument."""
+        rows: List[Tuple[str, str, str]] = []
+        for name in self.names():
+            m = self.get(name)
+            if isinstance(m, Counter):
+                rows.append((name, "counter", f"{m.value}"))
+            elif isinstance(m, Gauge):
+                rows.append((name, "gauge", f"{m.value:g}"))
+            else:
+                assert isinstance(m, Histogram)
+                rows.append(
+                    (name, "histogram",
+                     f"count={m.count} sum={m.sum:.6g} mean={m.mean:.6g}")
+                )
+        if not rows:
+            return "metrics: (none recorded)"
+        wname = max(len(r[0]) for r in rows)
+        wkind = max(len(r[1]) for r in rows)
+        lines = ["metrics:"]
+        for name, kind, value in rows:
+            lines.append(f"  {name:<{wname}}  {kind:<{wkind}}  {value}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+#: Process-global registry the built-in instrumentation reports to.
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    global _default_registry
+    _default_registry = registry
+    return registry
+
+
+def counter(name: str) -> Counter:
+    """Get-or-create a counter on the global registry."""
+    return _default_registry.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _default_registry.gauge(name)
+
+
+def histogram(name: str, bounds: Sequence[float] = TIME_BUCKETS_S) -> Histogram:
+    return _default_registry.histogram(name, bounds)

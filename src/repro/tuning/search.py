@@ -15,6 +15,7 @@ from repro.dsl.stencil import Stencil
 from repro.errors import SimulationError
 from repro.gpu.progmodel import Platform
 from repro.gpu.simulator import SimulationResult, simulate
+from repro.obs import counter, span
 from repro.tuning.space import TuningPoint, TuningSpace
 
 
@@ -61,21 +62,33 @@ class Autotuner:
             self.variant,
         )
         if key in self._cache:
+            counter("tune_cache.hits").inc()
             return self._cache[key]
+        counter("tune_cache.misses").inc()
         ranked: List[Tuple[TuningPoint, float, SimulationResult]] = []
-        for point in self.space.candidates(
-            platform.arch.simd_width, stencil.radius, domain
-        ):
-            res = simulate(
-                stencil,
-                self.variant,
-                platform,
-                domain=domain,
-                stencil_name=stencil_name,
-                dims=point.brick_dims(),
-                vector_length=point.vector_length,
-            )
-            ranked.append((point, res.time_s, res))
+        with span(
+            "tune.search",
+            stencil=stencil_name or stencil.description(),
+            platform=platform.name,
+            variant=self.variant,
+        ) as sp:
+            for point in self.space.candidates(
+                platform.arch.simd_width, stencil.radius, domain
+            ):
+                with span("tune.candidate", point=point.label()):
+                    res = simulate(
+                        stencil,
+                        self.variant,
+                        platform,
+                        domain=domain,
+                        stencil_name=stencil_name,
+                        dims=point.brick_dims(),
+                        vector_length=point.vector_length,
+                    )
+                ranked.append((point, res.time_s, res))
+            counter("tune.candidates").inc(len(ranked))
+            if sp is not None:
+                sp.set_attr("candidates", len(ranked))
         if not ranked:
             raise SimulationError(
                 f"tuning space is empty for radius {stencil.radius} on "

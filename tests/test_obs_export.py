@@ -1,0 +1,121 @@
+"""Tests for the trace exporters (repro.obs.export)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import ObservabilityError
+
+
+def sample_tracer():
+    """A deterministic two-root trace built with a fake clock."""
+    clock_t = [0.0]
+
+    def clock():
+        clock_t[0] += 0.001  # 1 ms per event
+        return clock_t[0]
+
+    tracer = obs.Tracer(clock=clock)
+    with tracer.span("sweep", points=2):
+        with tracer.span("point", stencil="7pt"):
+            pass
+        with tracer.span("point", stencil="13pt"):
+            pass
+    with tracer.span("report"):
+        pass
+    return tracer
+
+
+class TestJsonl:
+    def test_lines_parse_and_link(self):
+        tracer = sample_tracer()
+        text = obs.to_jsonl(tracer.roots())
+        lines = [json.loads(line) for line in text.strip().split("\n")]
+        assert len(lines) == 4
+        by_id = {rec["id"]: rec for rec in lines}
+        sweep = next(r for r in lines if r["name"] == "sweep")
+        points = [r for r in lines if r["name"] == "point"]
+        assert sweep["parent_id"] is None
+        assert all(p["parent_id"] == sweep["id"] for p in points)
+        assert all(p["parent_id"] in by_id for p in points)
+        assert {p["attrs"]["stencil"] for p in points} == {"7pt", "13pt"}
+        for rec in lines:
+            assert rec["t_end"] >= rec["t_start"]
+            assert rec["dur_ms"] >= 0
+
+    def test_empty_trace(self):
+        assert obs.to_jsonl([]) == ""
+
+
+class TestChrome:
+    def test_trace_event_shape(self):
+        tracer = sample_tracer()
+        doc = json.loads(obs.to_chrome(tracer.roots()))
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        events = doc["traceEvents"]
+        assert len(events) == 4
+        for ev in events:
+            # The chrome://tracing complete-event contract.
+            assert ev["ph"] == "X"
+            assert isinstance(ev["name"], str)
+            assert isinstance(ev["ts"], (int, float))
+            assert isinstance(ev["dur"], (int, float)) and ev["dur"] >= 0
+            assert "pid" in ev and "tid" in ev
+            assert isinstance(ev["args"], dict)
+        sweep = next(e for e in events if e["name"] == "sweep")
+        assert sweep["args"]["points"] == "2"  # args stringified
+        assert sweep["dur"] == pytest.approx(5000.0)  # 5 clock ticks in us
+
+    def test_nested_spans_all_exported(self):
+        tracer = sample_tracer()
+        doc = json.loads(obs.to_chrome(tracer.roots()))
+        names = sorted(e["name"] for e in doc["traceEvents"])
+        assert names == ["point", "point", "report", "sweep"]
+
+
+class TestTree:
+    def test_deterministic(self):
+        tracer = sample_tracer()
+        a = obs.render_tree(tracer.roots())
+        b = obs.render_tree(tracer.roots())
+        assert a == b
+
+    def test_contents(self):
+        tracer = sample_tracer()
+        text = obs.render_tree(tracer.roots())
+        lines = text.split("\n")
+        assert len(lines) == 4
+        assert lines[0].startswith("sweep")
+        assert "ms" in lines[0] and "[points=2]" in lines[0]
+        assert lines[1].startswith("  point")
+        assert "stencil=7pt" in lines[1]
+
+    def test_max_depth_elides_children(self):
+        tracer = sample_tracer()
+        text = obs.render_tree(tracer.roots(), max_depth=1)
+        assert "stencil=7pt" not in text  # child spans pruned
+        assert "2 nested span(s) elided" in text
+
+    def test_empty(self):
+        assert obs.render_tree([]) == "(no spans recorded)"
+
+
+class TestWriteTrace:
+    @pytest.mark.parametrize("fmt", obs.TRACE_FORMATS)
+    def test_write_each_format(self, tmp_path, fmt):
+        tracer = sample_tracer()
+        path = tmp_path / f"trace.{fmt}"
+        obs.write_trace(tracer.roots(), str(path), fmt)
+        text = path.read_text()
+        assert text
+        if fmt == "chrome":
+            assert "traceEvents" in json.loads(text)
+        elif fmt == "jsonl":
+            assert all(json.loads(line) for line in text.strip().split("\n"))
+        else:
+            assert text.startswith("sweep")
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ObservabilityError):
+            obs.write_trace([], str(tmp_path / "x"), "flamegraph")
