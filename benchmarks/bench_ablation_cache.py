@@ -59,6 +59,11 @@ def test_cache_capacity_sweep(benchmark):
                      f"({b / unique_bytes:5.2f}x compulsory)")
     emit("Ablation: cache capacity", "\n".join(lines))
 
+    # The sweep ran the vectorized path; the scalar oracle must agree.
+    oracle = CacheSim(capacity_bytes=32 * 1024, associativity=16,
+                      vectorize=False)
+    assert oracle.access_array(t) * oracle.line_bytes == miss_bytes[32]
+
     vals = list(miss_bytes.values())
     # Monotone: more cache never fetches more (stack property).
     assert all(a >= b for a, b in zip(vals, vals[1:]))

@@ -1,22 +1,43 @@
 #!/usr/bin/env python
-"""Observability regression gate: one traced simulate() must emit every
-pipeline-stage span.
+"""Performance smoke gates: observability, the parallel sweep engine,
+and the vectorized cache simulator.
 
-CI runs this after the unit tests.  If an instrumentation point is ever
-dropped (a refactor removes a ``with span(...)``), the trace goes dark
-silently — this script turns that into a hard failure.  It also checks
-the disabled-tracer overhead stays negligible.
+CI runs this after the unit tests.  Three gates:
 
-Exit status: 0 = all expected spans present, 1 = something is missing.
+1. **observability** — one traced ``simulate()`` must emit every
+   pipeline-stage span and bump the expected counters, and the disabled
+   tracer must stay near-free.  If an instrumentation point is ever
+   dropped (a refactor removes a ``with span(...)``), the trace goes
+   dark silently — this turns that into a hard failure.
+2. **cache simulator** — the vectorized :meth:`CacheSim.access_array`
+   path must produce *identical* miss counts to the scalar oracle on a
+   ~1M-access per-element stencil trace, and must beat it by a healthy
+   margin (hard floor 5x, target 10x).
+3. **parallel sweep** — the 90-point study must survive a parallel run
+   and match the serial result; the speedup gate scales with the
+   machine (>= 2x only where >= 4 CPUs and >= 4 jobs are available —
+   a 1-core container records honest numbers instead of failing).
+
+Timings land in ``BENCH_sweep.json`` (``--out``) so perf regressions
+are visible in review diffs.
+
+Exit status: 0 = all gates passed, 1 = something regressed.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import os
 import sys
 import time
 
-from repro import obs
+import numpy as np
+
+from repro import harness, obs
+from repro.codegen import clear_codegen_memo
 from repro.dsl.shapes import by_name
+from repro.gpu.cache import CacheSim
 from repro.gpu.progmodel import platform
 from repro.gpu.simulator import simulate
 
@@ -34,8 +55,13 @@ EXPECTED_SPANS = (
 #: Counters one simulate() call must bump.
 EXPECTED_COUNTERS = ("simulate.calls", "simulate.tiles", "codegen.vector_ops")
 
+#: Vectorized CacheSim speedup: hard floor / soft target over the oracle.
+VECTOR_SPEEDUP_FLOOR = 5.0
+VECTOR_SPEEDUP_TARGET = 10.0
 
-def main() -> int:
+
+def obs_gate(failures: list) -> None:
+    """Gate 1: the instrumentation regression check."""
     tracer = obs.set_tracer(obs.Tracer(enabled=True))
     registry = obs.set_registry(obs.MetricsRegistry())
 
@@ -53,7 +79,6 @@ def main() -> int:
     print(registry.render_table())
     print()
 
-    failures = []
     recorded = {s.name for s in tracer.spans()}
     for name in EXPECTED_SPANS:
         if name not in recorded:
@@ -78,12 +103,160 @@ def main() -> int:
             f"disabled tracer too slow: {elapsed:.2f}s per 100k spans"
         )
 
+
+def element_trace(
+    n=(55, 55, 55), elem_bytes=8, line_bytes=128
+) -> np.ndarray:
+    """~1M-access per-element read trace of a 7-point star sweep.
+
+    One address per element *load* (every tap of every output element,
+    taps consecutive per element), line-granular — the access pattern a
+    scalar stencil kernel actually presents to a cache.
+    """
+    ni, nj, nk = n
+    offs = ((0, 0, 0), (0, 0, -1), (0, 0, 1), (0, -1, 0), (0, 1, 0),
+            (-1, 0, 0), (1, 0, 0))
+    ii, jj, kk = np.meshgrid(
+        np.arange(1, ni - 1), np.arange(1, nj - 1), np.arange(1, nk - 1),
+        indexing="ij",
+    )
+    taps = [
+        (((ii + di) * nj + (jj + dj)) * nk + (kk + dk)).reshape(-1)
+        for di, dj, dk in offs
+    ]
+    elems = np.stack(taps, axis=-1).reshape(-1)  # element-major order
+    return elems * elem_bytes // line_bytes
+
+
+def cachesim_bench(failures: list, doc: dict) -> None:
+    """Gate 2: vectorized path vs the scalar oracle, 1M-access trace."""
+    trace = element_trace()
+    kw = dict(capacity_bytes=1024 * 1024, line_bytes=128, associativity=0)
+
+    scalar = CacheSim(vectorize=False, **kw)
+    t0 = time.perf_counter()
+    scalar_misses = scalar.access_array(trace)
+    scalar_s = time.perf_counter() - t0
+
+    vector = CacheSim(vectorize=True, **kw)
+    t0 = time.perf_counter()
+    vector_misses = vector.access_array(trace)
+    vector_s = time.perf_counter() - t0
+
+    speedup = scalar_s / vector_s if vector_s > 0 else float("inf")
+    doc["cachesim"] = {
+        "accesses": int(trace.size),
+        "capacity_bytes": kw["capacity_bytes"],
+        "associativity": "full",
+        "misses": int(vector_misses),
+        "scalar_s": round(scalar_s, 4),
+        "vectorized_s": round(vector_s, 4),
+        "scalar_accesses_per_s": round(trace.size / scalar_s),
+        "vectorized_accesses_per_s": round(trace.size / vector_s),
+        "speedup": round(speedup, 1),
+    }
+    print(
+        f"cachesim: {trace.size} accesses, scalar {scalar_s * 1e3:.0f} ms, "
+        f"vectorized {vector_s * 1e3:.0f} ms ({speedup:.1f}x)"
+    )
+
+    if vector_misses != scalar_misses:
+        failures.append(
+            f"vectorized CacheSim diverged from the oracle: "
+            f"{vector_misses} vs {scalar_misses} misses"
+        )
+    if vector.stats != scalar.stats:
+        failures.append("vectorized CacheSim statistics differ from oracle")
+    if speedup < VECTOR_SPEEDUP_FLOOR:
+        failures.append(
+            f"vectorized CacheSim speedup {speedup:.1f}x below the "
+            f"{VECTOR_SPEEDUP_FLOOR}x floor"
+        )
+    elif speedup < VECTOR_SPEEDUP_TARGET:
+        print(
+            f"WARNING: cachesim speedup {speedup:.1f}x below the "
+            f"{VECTOR_SPEEDUP_TARGET}x target (machine under load?)"
+        )
+
+
+def _timed_study(parallel: int) -> tuple:
+    """One cold full sweep (memo + codegen memo cleared), timed."""
+    harness.clear_study_cache()
+    clear_codegen_memo()
+    t0 = time.perf_counter()
+    study = harness.run_study(parallel=parallel)
+    return study, time.perf_counter() - t0
+
+
+def sweep_bench(failures: list, doc: dict, jobs: int) -> None:
+    """Gate 3: serial vs parallel 90-point sweep, equal results."""
+    cpus = os.cpu_count() or 1
+    serial_study, serial_s = _timed_study(parallel=1)
+    parallel_study, parallel_s = _timed_study(parallel=jobs)
+    harness.clear_study_cache()
+
+    points = len(serial_study)
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    doc["sweep"] = {
+        "points": points,
+        "jobs": jobs,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "serial_points_per_s": round(points / serial_s, 1),
+        "parallel_points_per_s": round(points / parallel_s, 1),
+        "speedup": round(speedup, 2),
+    }
+    print(
+        f"sweep: {points} points, serial {serial_s:.2f} s, "
+        f"parallel(x{jobs}) {parallel_s:.2f} s ({speedup:.2f}x, {cpus} CPUs)"
+    )
+
+    if parallel_study.results != serial_study.results:
+        failures.append("parallel sweep results differ from serial sweep")
+    # The speedup gate only binds where the hardware can deliver it; a
+    # 1-core CI container still checks equivalence and records timings.
+    if cpus >= 4 and jobs >= 4 and speedup < 2.0:
+        failures.append(
+            f"parallel sweep speedup {speedup:.2f}x < 2.0x "
+            f"({jobs} jobs on {cpus} CPUs)"
+        )
+    elif cpus >= 2 and jobs >= 2 and speedup < 1.1:
+        failures.append(
+            f"parallel sweep speedup {speedup:.2f}x < 1.1x "
+            f"({jobs} jobs on {cpus} CPUs)"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs", type=int, default=4,
+        help="worker processes for the parallel sweep leg (default 4)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_sweep.json",
+        help="where to write the benchmark record (default BENCH_sweep.json)",
+    )
+    args = parser.parse_args(argv)
+
+    failures: list = []
+    doc: dict = {"schema_version": 1, "cpu_count": os.cpu_count() or 1}
+
+    obs_gate(failures)
+    cachesim_bench(failures, doc)
+    sweep_bench(failures, doc, jobs=args.jobs)
+
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+    print(f"benchmark record written to {args.out}")
+
     if failures:
-        print("\nOBSERVABILITY GATE FAILED:")
+        print("\nPERFORMANCE GATE FAILED:")
         for f in failures:
             print(f"  - {f}")
         return 1
-    print("\nobservability gate OK: all pipeline spans + counters present")
+    print("\nperformance gate OK: obs spans, cachesim parity, sweep parity")
     return 0
 
 

@@ -16,6 +16,12 @@ Every subcommand accepts ``--trace FILE`` / ``--trace-format
 span tree is exported to ``FILE`` on exit (``chrome`` output loads in
 ``chrome://tracing`` / Perfetto).  ``obs`` runs the full sweep and
 prints the span tree plus the metrics table.
+
+Sweeps and tuning searches accept ``--jobs N`` (worker processes;
+``$REPRO_JOBS`` supplies a default, 0 means one per CPU) and the
+sweep-rendering commands accept ``--cache-dir [DIR]`` to persist and
+reuse study results across invocations (``$REPRO_CACHE_DIR`` supplies a
+default directory).
 """
 
 from __future__ import annotations
@@ -34,8 +40,14 @@ from repro.profiling import profile as collect_profile
 from repro.tuning import Autotuner
 
 
+def _cached_study(args):
+    return harness.cached_study(
+        parallel=args.jobs, cache_dir=args.cache_dir
+    )
+
+
 def _study(args) -> int:
-    study = harness.cached_study()
+    study = _cached_study(args)
     print(harness.summary(study))
     if args.csv:
         harness.write_csv(study, args.csv)
@@ -53,14 +65,14 @@ def _table(args) -> int:
     if args.number == 4:
         print(harness.render_table4())
         return 0
-    study = harness.cached_study()
+    study = _cached_study(args)
     table = harness.table3(study) if args.number == 3 else harness.table5(study)
     print(table.render())
     return 0
 
 
 def _figure(args) -> int:
-    study = harness.cached_study()
+    study = _cached_study(args)
     n = args.number
     if n == 3:
         for panel in harness.fig3(study):
@@ -116,7 +128,9 @@ def _emit(args) -> int:
 def _tune(args) -> int:
     case = by_name(args.stencil)
     plat = platform(args.arch, args.model)
-    outcome = Autotuner().tune(case.build(), plat, stencil_name=case.name)
+    outcome = Autotuner().tune(
+        case.build(), plat, stencil_name=case.name, jobs=args.jobs
+    )
     print(f"best configuration for {case.name} on {plat.name}:")
     print(f"  {outcome.best.label()}  ({outcome.best_result.gflops:.1f} GF/s)")
     print("top 5:")
@@ -130,7 +144,7 @@ def _obs(args) -> int:
     # (a fresh process records only a miss).
     obs.counter("study_cache.hits")
     obs.counter("study_cache.misses")
-    study = harness.cached_study()
+    study = _cached_study(args)
     tracer = obs.get_tracer()
     print(
         f"observability report: {len(study)} kernel runs, "
@@ -160,6 +174,17 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument(
         "--trace-format", default="jsonl", choices=obs.TRACE_FORMATS,
         help="trace export format (chrome loads in chrome://tracing)",
+    )
+    common.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for sweeps and tuning (default: $REPRO_JOBS "
+        "or serial; 0 = one per CPU)",
+    )
+    common.add_argument(
+        "--cache-dir", nargs="?", const=harness.default_cache_dir(),
+        default=None, metavar="DIR",
+        help="persist/reuse study results on disk (bare flag uses "
+        f"{harness.default_cache_dir()}; default: $REPRO_CACHE_DIR or off)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

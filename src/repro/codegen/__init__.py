@@ -8,7 +8,12 @@ which can be *executed* on NumPy (:func:`execute`), *costed*
 """
 
 from repro.codegen.cost import ProgramCost, cost_of
-from repro.codegen.generator import STRATEGIES, CodegenOptions, generate
+from repro.codegen.generator import (
+    STRATEGIES,
+    CodegenOptions,
+    clear_codegen_memo,
+    generate,
+)
 from repro.codegen.interpreter import execute
 from repro.codegen.vector_ir import (
     Init,
@@ -31,6 +36,7 @@ __all__ = [
     "Shift",
     "Store",
     "VectorProgram",
+    "clear_codegen_memo",
     "cost_of",
     "execute",
     "generate",

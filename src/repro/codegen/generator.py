@@ -68,10 +68,42 @@ class CodegenOptions:
             )
 
 
+#: Memoised generated programs.  Keyed on the full semantic input of
+#: :func:`generate` — the stencil's taps (offsets + coefficients), the
+#: tile shape, and the options — so the five platform columns of the
+#: study (three distinct SIMD widths) stop regenerating identical
+#: programs.  Values are shared instances: callers treat a
+#: ``VectorProgram`` as immutable after generation.
+_MEMO: Dict[Tuple, VectorProgram] = {}
+
+
+def _memo_key(
+    stencil: Stencil, dims: BrickDims, options: CodegenOptions
+) -> Tuple:
+    return (
+        stencil.output,
+        stencil.input,
+        stencil.ndim,
+        tuple(sorted(stencil.taps.items())),
+        dims.dims,
+        options,
+    )
+
+
+def clear_codegen_memo() -> None:
+    """Drop all memoised programs (tests and benchmarks)."""
+    _MEMO.clear()
+
+
 def generate(
     stencil: Stencil, dims: BrickDims, options: CodegenOptions
 ) -> VectorProgram:
-    """Generate a vector program computing ``stencil`` over one tile."""
+    """Generate a vector program computing ``stencil`` over one tile.
+
+    Results are memoised on (stencil signature, tile dims, options);
+    repeated calls return the same validated program instance and
+    record a ``codegen.memo_hits`` counter (misses likewise).
+    """
     if stencil.ndim != 3:
         raise CodegenError("the vector code generator supports 3-D stencils")
     if dims.ndim != 3:
@@ -87,12 +119,22 @@ def generate(
         raise CodegenError(f"stencil radius {r} must be smaller than vl {vl}")
     dims.check_radius(r)
 
+    key = _memo_key(stencil, dims, options)
+    memoised = _MEMO.get(key)
     with get_tracer().span(
         "codegen.generate",
         strategy=options.strategy,
         vl=vl,
         tile=f"{bk}x{bj}x{bi}",
+        memo="hit" if memoised is not None else "miss",
     ) as sp:
+        if memoised is not None:
+            counter("codegen.memo_hits").inc()
+            if sp is not None:
+                sp.set_attr("chosen", memoised.strategy)
+                sp.set_attr("ops", len(memoised.ops))
+            return memoised
+        counter("codegen.memo_misses").inc()
         if options.strategy == "naive":
             prog = _Builder(stencil, dims, vl).naive()
         elif options.strategy == "gather":
@@ -112,6 +154,7 @@ def generate(
         if sp is not None:
             sp.set_attr("chosen", prog.strategy)
             sp.set_attr("ops", len(prog.ops))
+        _MEMO[key] = prog
     return prog
 
 

@@ -35,3 +35,7 @@ class MetricError(ReproError):
 
 class ObservabilityError(ReproError):
     """Tracing/metrics layer misuse (metric type clash, bad export format)."""
+
+
+class ExecutionError(ReproError):
+    """Parallel execution engine misuse (bad job count, broken worker)."""

@@ -1,0 +1,19 @@
+"""``repro.exec`` — the parallel execution engine.
+
+A chunked process-pool map (:func:`parallel_map`) with deterministic
+result merge and worker-side tracer/metric capture, plus the
+module-level worker functions the sweep and tuner dispatch.  Serial
+execution (``jobs <= 1``, the default) bypasses the pool entirely.
+"""
+
+from repro.exec.pool import JOBS_ENV, parallel_map, resolve_jobs
+from repro.exec.workers import StudyItem, evaluate_candidate, simulate_point
+
+__all__ = [
+    "JOBS_ENV",
+    "StudyItem",
+    "evaluate_candidate",
+    "parallel_map",
+    "resolve_jobs",
+    "simulate_point",
+]

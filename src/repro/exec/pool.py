@@ -1,0 +1,170 @@
+"""Process-pool parallel map with observability re-aggregation.
+
+The execution engine behind ``run_study(..., parallel=N)`` and
+``Autotuner.tune(..., jobs=N)``.  Design points:
+
+* **chunked distribution** — the item list is split into contiguous
+  chunks (several per worker, for load balancing) and each chunk is one
+  pool task, amortising pickling and per-task observability capture;
+* **deterministic merge** — results come back keyed by chunk index and
+  are reassembled in input order, so a parallel sweep produces exactly
+  the same result list (and the same downstream dict ordering) as a
+  serial one;
+* **worker-side observability** — each chunk runs under a fresh
+  :class:`~repro.obs.metrics.MetricsRegistry` and (when the parent is
+  tracing) a fresh enabled :class:`~repro.obs.trace.Tracer`; the
+  counter snapshot and flattened span trees travel back with the
+  results and are re-aggregated into the parent's registry/tracer, so
+  ``simulate.calls`` and the ``study.point`` span tree look identical
+  whether the sweep ran in-process or across four workers;
+* **serial fallback** — ``jobs <= 1`` (the default) runs the plain list
+  comprehension in-process: no pool, no capture, no behaviour change.
+
+``jobs=None`` consults the ``REPRO_JOBS`` environment variable (the CLI
+``--jobs`` flag overrides it); ``jobs=0`` means one worker per CPU.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro import obs
+from repro.errors import ExecutionError
+from repro.obs.export import span_to_dict, spans_from_dicts
+from repro.obs.metrics import Counter
+
+__all__ = ["JOBS_ENV", "resolve_jobs", "parallel_map"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable consulted when ``jobs`` is not given explicitly.
+JOBS_ENV = "REPRO_JOBS"
+
+#: Target number of chunks per worker (finer chunks balance load,
+#: coarser chunks amortise pickling; 4 is the usual compromise).
+_CHUNKS_PER_WORKER = 4
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Normalise a job-count request to a concrete worker count.
+
+    ``None`` falls back to ``$REPRO_JOBS`` (unset/empty -> 1, serial);
+    ``0`` means one worker per available CPU; negative counts are
+    rejected.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ExecutionError(
+                f"${JOBS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if jobs < 0:
+        raise ExecutionError(f"job count cannot be negative, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _chunk_bounds(n: int, nchunks: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into ``nchunks`` balanced contiguous slices."""
+    nchunks = max(1, min(nchunks, n))
+    base, extra = divmod(n, nchunks)
+    bounds = []
+    start = 0
+    for i in range(nchunks):
+        end = start + base + (1 if i < extra else 0)
+        bounds.append((start, end))
+        start = end
+    return bounds
+
+
+def _capture_counters(registry: obs.MetricsRegistry) -> Dict[str, int]:
+    """Counter name -> value for every counter in ``registry``."""
+    return {
+        name: registry.get(name).value
+        for name in registry.names()
+        if isinstance(registry.get(name), Counter)
+    }
+
+
+def _run_chunk(
+    fn: Callable[[T], R], items: Sequence[T], trace: bool
+) -> Tuple[List[R], Dict[str, int], List[Dict[str, Any]]]:
+    """Worker-side chunk runner: fresh obs state, capture, return.
+
+    Installs a fresh registry (and, when the parent was tracing, a
+    fresh enabled tracer) so this chunk's instrumentation is isolated
+    from whatever the forked process inherited, then returns the
+    results plus the counter snapshot and flattened finished spans.
+    """
+    registry = obs.set_registry(obs.MetricsRegistry())
+    tracer = obs.set_tracer(obs.Tracer(enabled=trace))
+    results = [fn(item) for item in items]
+    counters = _capture_counters(registry)
+    spans = (
+        [span_to_dict(s) for root in tracer.roots() for s in root.walk()]
+        if trace
+        else []
+    )
+    return results, counters, spans
+
+
+def _merge_observations(
+    counters: Dict[str, int], span_dicts: List[Dict[str, Any]]
+) -> None:
+    """Fold one worker chunk's counters and spans into the parent."""
+    for name, value in counters.items():
+        if value:
+            obs.counter(name).inc(value)
+    tracer = obs.get_tracer()
+    if tracer.enabled and span_dicts:
+        for root in spans_from_dicts(span_dicts):
+            tracer.adopt(root)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: Optional[int] = None,
+    chunks_per_worker: int = _CHUNKS_PER_WORKER,
+) -> List[R]:
+    """Map ``fn`` over ``items``, optionally across worker processes.
+
+    Results are returned in input order regardless of completion order,
+    and worker-side counters/spans are re-aggregated into the parent's
+    observability state (chunks merge in input order too, so the
+    adopted span sequence is deterministic).  ``fn`` and the items must
+    be picklable when ``jobs > 1`` — module-level functions (or
+    :func:`functools.partial` over them) qualify.
+
+    Exceptions raised by ``fn`` propagate unchanged; observations from
+    chunks that completed before the failure are still merged.
+    """
+    items = list(items)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    jobs = min(jobs, len(items))
+    trace = obs.get_tracer().enabled
+    bounds = _chunk_bounds(len(items), jobs * chunks_per_worker)
+    results: List[R] = []
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(_run_chunk, fn, items[start:end], trace)
+            for start, end in bounds
+        ]
+        # Merge strictly in submission (= input) order: chunk results
+        # concatenate back into the original sequence and worker spans
+        # adopt in a deterministic order.
+        for future in futures:
+            chunk_results, counters, span_dicts = future.result()
+            _merge_observations(counters, span_dicts)
+            results.extend(chunk_results)
+    return results

@@ -1,0 +1,66 @@
+"""Module-level worker functions for the process-pool engine.
+
+Pool tasks are pickled by reference, so the functions the sweep and the
+tuner dispatch must live at module scope.  Each worker opens the same
+spans the serial code path does (``study.point`` / ``tune.candidate``),
+so a parallel run's adopted trace is indistinguishable from a serial
+one.
+
+Work items carry the actual :class:`~repro.dsl.stencil.Stencil` and
+:class:`~repro.gpu.progmodel.Platform` objects (both are small frozen
+dataclasses that pickle in well under 2 KB), so workers never have to
+rebuild state from names and serial/parallel runs simulate *the same*
+inputs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+from repro.dsl.stencil import Stencil
+from repro.gpu.progmodel import Platform
+from repro.gpu.simulator import SimulationResult, simulate
+from repro.obs import span
+
+if TYPE_CHECKING:  # import cycle: tuning.search itself uses this module
+    from repro.tuning.space import TuningPoint
+
+__all__ = ["StudyItem", "simulate_point", "evaluate_candidate"]
+
+#: One point of the study matrix: (stencil name, stencil, platform,
+#: variant, domain).
+StudyItem = Tuple[str, Stencil, Platform, str, Tuple[int, int, int]]
+
+
+def simulate_point(item: StudyItem) -> SimulationResult:
+    """Simulate one (stencil, platform, variant) point of the matrix."""
+    name, stencil, platform, variant, domain = item
+    with span(
+        "study.point", stencil=name, platform=platform.name, variant=variant
+    ):
+        return simulate(
+            stencil, variant, platform, domain=domain, stencil_name=name
+        )
+
+
+def evaluate_candidate(
+    point: "TuningPoint",
+    *,
+    stencil: Stencil,
+    variant: str,
+    platform: Platform,
+    domain: Tuple[int, int, int],
+    stencil_name: str | None,
+) -> SimulationResult:
+    """Simulate one tuning-space candidate (dispatched via partial)."""
+    dims = point.brick_dims()
+    with span("tune.candidate", point=point.label()):
+        return simulate(
+            stencil,
+            variant,
+            platform,
+            domain=domain,
+            stencil_name=stencil_name,
+            dims=dims,
+            vector_length=point.vector_length,
+        )

@@ -32,11 +32,17 @@ from repro.harness.figures import (
 )
 from repro.harness.reporting import result_row, summary, to_csv, write_csv
 from repro.harness.serialization import (
+    CACHE_DIR_ENV,
     SCHEMA_VERSION,
     compare_rows,
+    default_cache_dir,
     dump_study,
     load_csv_rows,
     load_rows,
+    load_study_cache,
+    save_study_cache,
+    study_cache_key,
+    study_cache_path,
     study_to_dict,
 )
 from repro.harness.tables import (
@@ -51,6 +57,7 @@ from repro.harness.tables import (
 
 __all__ = [
     "AsciiPlot",
+    "CACHE_DIR_ENV",
     "ExperimentConfig",
     "PortabilityTable",
     "RooflinePanel",
@@ -71,8 +78,13 @@ __all__ = [
     "render_fig7",
     "compare_rows",
     "correlation_ascii",
+    "default_cache_dir",
     "dump_study",
     "load_rows",
+    "load_study_cache",
+    "save_study_cache",
+    "study_cache_key",
+    "study_cache_path",
     "render_table2",
     "render_table4",
     "result_row",

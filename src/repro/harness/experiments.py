@@ -9,14 +9,16 @@ that every table and figure renderer consumes.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.dsl.shapes import TABLE2, by_name
 from repro.dsl.stencil import Stencil
 from repro.errors import MetricError
+from repro.exec import parallel_map, resolve_jobs, simulate_point
 from repro.gpu.progmodel import VARIANTS, Platform, study_platforms
-from repro.gpu.simulator import SimulationResult, simulate
+from repro.gpu.simulator import SimulationResult
 from repro.obs import counter, span
 
 STENCIL_NAMES: Tuple[str, ...] = tuple(c.name for c in TABLE2)
@@ -69,31 +71,34 @@ class StudyResults:
         return len(self.results)
 
 
-def run_study(config: ExperimentConfig | None = None) -> StudyResults:
-    """Simulate the full matrix; deterministic, a few seconds of work."""
+def run_study(
+    config: ExperimentConfig | None = None,
+    parallel: Optional[int] = None,
+) -> StudyResults:
+    """Simulate the full matrix; deterministic, a few seconds of work.
+
+    ``parallel`` is the worker-process count for the sweep (``None``
+    consults ``$REPRO_JOBS``; ``<= 1`` runs serially in-process; ``0``
+    means one worker per CPU).  Results, counters, and the span tree
+    are identical either way: workers trace into their own tracer and
+    the engine re-aggregates everything deterministically.
+    """
     config = config or ExperimentConfig()
     study = StudyResults(config=config)
-    npoints = (
-        len(config.stencils) * len(config.platforms()) * len(config.variants)
-    )
-    with span("run_study", points=npoints):
-        for name in config.stencils:
-            stencil = by_name(name).build()
-            for platform in config.platforms():
-                for variant in config.variants:
-                    with span(
-                        "study.point",
-                        stencil=name,
-                        platform=platform.name,
-                        variant=variant,
-                    ):
-                        study.results[(name, platform.name, variant)] = simulate(
-                            stencil,
-                            variant,
-                            platform,
-                            domain=config.domain,
-                            stencil_name=name,
-                        )
+    platforms = config.platforms()  # hoisted: one catalogue per sweep
+    items = []
+    for name in config.stencils:
+        stencil = by_name(name).build()
+        for platform in platforms:
+            for variant in config.variants:
+                items.append(
+                    (name, stencil, platform, variant, config.domain)
+                )
+    jobs = resolve_jobs(parallel)
+    with span("run_study", points=len(items), jobs=jobs):
+        results = parallel_map(simulate_point, items, jobs=jobs)
+        for (name, _, platform, variant, _), result in zip(items, results):
+            study.results[(name, platform.name, variant)] = result
         counter("study.points").inc(len(study.results))
     return study
 
@@ -102,7 +107,11 @@ def run_study(config: ExperimentConfig | None = None) -> StudyResults:
 _STUDY_CACHE: Dict[ExperimentConfig, StudyResults] = {}
 
 
-def cached_study(config: ExperimentConfig | None = None) -> StudyResults:
+def cached_study(
+    config: ExperimentConfig | None = None,
+    parallel: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> StudyResults:
     """Memoised :func:`run_study`: one sweep per config per process.
 
     The CLI's table/figure/obs paths all render from the same sweep, so
@@ -110,13 +119,39 @@ def cached_study(config: ExperimentConfig | None = None) -> StudyResults:
     several artifacts) simulate the 90-point matrix exactly once.  Cache
     hits and misses are recorded as ``study_cache.*`` counters and as a
     ``cache`` attribute on the ``cached_study`` span.
+
+    ``cache_dir`` additionally consults/populates the persistent
+    on-disk cache (see :mod:`repro.harness.serialization`), so repeated
+    *CLI invocations* skip the sweep too; ``None`` falls back to
+    ``$REPRO_CACHE_DIR``, and with neither set the disk is never
+    touched.  Disk traffic is recorded as ``study_disk_cache.*``
+    counters and a ``disk`` span attribute.
     """
+    # Local import: serialization imports this module for StudyResults.
+    from repro.harness import serialization
+
     config = config or ExperimentConfig()
+    if cache_dir is None:
+        cache_dir = os.environ.get(serialization.CACHE_DIR_ENV) or None
     hit = config in _STUDY_CACHE
     counter("study_cache.hits" if hit else "study_cache.misses").inc()
-    with span("cached_study", cache="hit" if hit else "miss"):
+    with span("cached_study", cache="hit" if hit else "miss") as sp:
         if not hit:
-            _STUDY_CACHE[config] = run_study(config)
+            study = None
+            if cache_dir:
+                study = serialization.load_study_cache(config, cache_dir)
+                disk = "hit" if study is not None else "miss"
+                counter(
+                    "study_disk_cache.hits" if disk == "hit"
+                    else "study_disk_cache.misses"
+                ).inc()
+                if sp is not None:
+                    sp.set_attr("disk", disk)
+            if study is None:
+                study = run_study(config, parallel=parallel)
+                if cache_dir:
+                    serialization.save_study_cache(study, cache_dir)
+            _STUDY_CACHE[config] = study
     return _STUDY_CACHE[config]
 
 

@@ -18,11 +18,14 @@ treats that header as the schema stamp and rejects mismatches.
 from __future__ import annotations
 
 import csv
+import hashlib
 import json
-from typing import Dict, List
+import os
+import pickle
+from typing import Dict, List, Optional
 
 from repro.errors import MetricError
-from repro.harness.experiments import StudyResults, iter_results
+from repro.harness.experiments import ExperimentConfig, StudyResults, iter_results
 from repro.harness.reporting import CSV_FIELDS, result_row
 
 FORMAT_VERSION = 1
@@ -93,6 +96,96 @@ def load_csv_rows(path: str) -> List[Dict]:
                 f"version {SCHEMA_VERSION} fields {list(CSV_FIELDS)}"
             )
         return [dict(zip(CSV_FIELDS, row)) for row in reader]
+
+
+# ---- persistent on-disk study cache ---------------------------------------
+#
+# Repeated CLI invocations (``repro-stencil table 3`` then ``figure 4``)
+# are separate processes, so the in-process memo of ``cached_study``
+# cannot help them.  The disk cache stores the full pickled
+# ``StudyResults`` (flat rows would lose the Platform/Traffic/Timing
+# objects the renderers need), keyed by a sha256 hash of the sweep
+# configuration.  ``SCHEMA_VERSION`` is part of both the key payload
+# and the stored blob: bumping it orphans every stale entry, and a
+# version-mismatched or corrupt file loads as a plain miss (the sweep
+# re-runs and overwrites it).  The cache is strictly opt-in — callers
+# pass ``cache_dir`` (CLI ``--cache-dir`` / ``$REPRO_CACHE_DIR``).
+
+#: Environment variable supplying a cache directory when no ``cache_dir``
+#: argument is given.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    """``~/.cache/repro-stencil`` (XDG_CACHE_HOME honoured)."""
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro-stencil")
+
+
+def study_cache_key(config: ExperimentConfig) -> str:
+    """Stable content hash of one sweep configuration (+ schema)."""
+    payload = json.dumps(
+        {
+            "format_version": FORMAT_VERSION,
+            "schema_version": SCHEMA_VERSION,
+            "stencils": list(config.stencils),
+            "variants": list(config.variants),
+            "domain": list(config.domain),
+            "platforms": [p.name for p in config.platforms()],
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+def study_cache_path(cache_dir: str, config: ExperimentConfig) -> str:
+    return os.path.join(cache_dir, f"study-{study_cache_key(config)}.pkl")
+
+
+def save_study_cache(study: StudyResults, cache_dir: str) -> str:
+    """Persist a study under ``cache_dir``; returns the file path.
+
+    The write is atomic (temp file + rename), so a concurrent reader
+    sees either the old entry or the new one, never a torn pickle.
+    """
+    os.makedirs(cache_dir, exist_ok=True)
+    path = study_cache_path(cache_dir, study.config)
+    blob = {"schema_version": SCHEMA_VERSION, "study": study}
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as f:
+            pickle.dump(blob, f, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return path
+
+
+def load_study_cache(
+    config: ExperimentConfig, cache_dir: str
+) -> Optional[StudyResults]:
+    """Load the cached study for ``config``, or None on any mismatch.
+
+    Missing files, unreadable pickles, schema-version drift, and
+    config mismatches (a hash collision, or a cache written by an
+    incompatible build) all return None — the caller re-simulates.
+    """
+    path = study_cache_path(cache_dir, config)
+    try:
+        with open(path, "rb") as f:
+            blob = pickle.load(f)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError):
+        return None
+    if not isinstance(blob, dict) or blob.get("schema_version") != SCHEMA_VERSION:
+        return None
+    study = blob.get("study")
+    if not isinstance(study, StudyResults) or study.config != config:
+        return None
+    return study
 
 
 def compare_rows(old: List[Dict], new: List[Dict], rtol: float = 0.02) -> List[str]:

@@ -30,13 +30,19 @@ def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
     """Pearson correlation coefficient."""
     _validate(xs, ys)
     n = len(xs)
+    # Detect constant series by value, not by variance: mean rounding
+    # can leave a tiny nonzero variance for an all-equal series.
+    if min(xs) == max(xs) or min(ys) == max(ys):
+        raise MetricError("correlation undefined for a constant series")
     mx, my = sum(xs) / n, sum(ys) / n
     sxx = sum((x - mx) ** 2 for x in xs)
     syy = sum((y - my) ** 2 for y in ys)
     sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
     if sxx == 0 or syy == 0:
         raise MetricError("correlation undefined for a constant series")
-    return sxy / math.sqrt(sxx * syy)
+    # sqrt each factor separately: sxx * syy underflows to zero for
+    # subnormal variances while the individual roots stay representable.
+    return sxy / (math.sqrt(sxx) * math.sqrt(syy))
 
 
 def _ranks(vals: Sequence[float]) -> Sequence[float]:

@@ -23,6 +23,7 @@ from repro.obs.export import (
     TRACE_FORMATS,
     render_tree,
     span_to_dict,
+    spans_from_dicts,
     to_chrome,
     to_jsonl,
     write_trace,
@@ -73,6 +74,7 @@ __all__ = [
     "set_tracer",
     "span",
     "span_to_dict",
+    "spans_from_dicts",
     "stage",
     "to_chrome",
     "to_jsonl",

@@ -26,6 +26,7 @@ from repro.obs.trace import Span
 __all__ = [
     "TRACE_FORMATS",
     "span_to_dict",
+    "spans_from_dicts",
     "to_jsonl",
     "to_chrome",
     "render_tree",
@@ -47,6 +48,45 @@ def span_to_dict(span: Span) -> Dict[str, Any]:
         "dur_ms": round(span.duration_ms, 6),
         "attrs": span.attrs,
     }
+
+
+def spans_from_dicts(records: Iterable[Dict[str, Any]]) -> List[Span]:
+    """Rebuild span trees from :func:`span_to_dict` records.
+
+    The inverse of flattening: children are re-attached via their
+    ``parent_id`` and the root spans are returned in record order.
+    Records whose parent is absent from the batch become roots
+    themselves (a worker ships only the subtree it recorded).  Used by
+    the parallel execution engine to rehydrate worker traces before
+    :meth:`~repro.obs.trace.Tracer.adopt` grafts them into the parent.
+    """
+    spans: Dict[int, Span] = {}
+    ordered: List[Span] = []
+    for rec in records:
+        span_id = rec["id"]
+        if span_id in spans:
+            raise ObservabilityError(
+                f"duplicate span id {span_id} in serialised trace"
+            )
+        s = Span(
+            name=rec["name"],
+            attrs=dict(rec.get("attrs") or {}),
+            span_id=span_id,
+            parent_id=rec.get("parent_id"),
+            thread_id=rec.get("thread", 0),
+            t_start=rec["t_start"],
+            t_end=rec["t_end"],
+        )
+        spans[span_id] = s
+        ordered.append(s)
+    roots: List[Span] = []
+    for s in ordered:
+        parent = spans.get(s.parent_id) if s.parent_id is not None else None
+        if parent is not None:
+            parent.children.append(s)
+        else:
+            roots.append(s)
+    return roots
 
 
 def to_jsonl(roots: Iterable[Span]) -> str:

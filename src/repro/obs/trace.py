@@ -181,6 +181,41 @@ class Tracer:
             if s.parent_id is None:
                 self._roots.append(s)
 
+    def adopt(self, root: Span) -> Span:
+        """Graft a finished span tree into this tracer's record.
+
+        Used by the parallel execution engine: worker processes trace
+        into their own tracer, ship the finished trees back as flat
+        dicts, and the parent adopts each rebuilt root here.  Span ids
+        are reassigned from this tracer's sequence (worker ids would
+        collide with locally recorded spans), and the tree is attached
+        under the calling thread's innermost open span — so adopted
+        ``study.point`` trees land inside the parent's ``run_study``
+        span exactly as they would have in a serial run.  With no open
+        span the tree becomes a new root.  No-op when disabled.
+        """
+        if not self.enabled:
+            return root
+        parent = self.current_span()
+        adopted = 0
+
+        def relabel(s: Span, parent_id: Optional[int]) -> None:
+            nonlocal adopted
+            s.span_id = next(self._ids)
+            s.parent_id = parent_id
+            adopted += 1
+            for child in s.children:
+                relabel(child, s.span_id)
+
+        relabel(root, parent.span_id if parent else None)
+        if parent is not None:
+            parent.children.append(root)
+        with self._lock:
+            self._span_count += adopted
+            if parent is None:
+                self._roots.append(root)
+        return root
+
     # ---- reading back ------------------------------------------------------
     def roots(self) -> List[Span]:
         """Finished root spans, in completion order."""

@@ -8,13 +8,15 @@ free, mirroring a persisted autotuning database.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.dsl.stencil import Stencil
 from repro.errors import SimulationError
+from repro.exec import evaluate_candidate, parallel_map
 from repro.gpu.progmodel import Platform
-from repro.gpu.simulator import SimulationResult, simulate
+from repro.gpu.simulator import SimulationResult
 from repro.obs import counter, span
 from repro.tuning.space import TuningPoint, TuningSpace
 
@@ -53,7 +55,14 @@ class Autotuner:
         platform: Platform,
         domain: Tuple[int, int, int] = (512, 512, 512),
         stencil_name: str | None = None,
+        jobs: Optional[int] = None,
     ) -> TuningOutcome:
+        """Grid-search the space; ``jobs`` workers evaluate candidates.
+
+        ``jobs`` follows the engine convention (``None`` consults
+        ``$REPRO_JOBS``, ``<= 1`` is serial, ``0`` is one per CPU); the
+        outcome is identical at any job count.
+        """
         key = (
             stencil.offsets(),
             tuple(sorted(c.key() for c in stencil.taps.values())),
@@ -65,27 +74,30 @@ class Autotuner:
             counter("tune_cache.hits").inc()
             return self._cache[key]
         counter("tune_cache.misses").inc()
-        ranked: List[Tuple[TuningPoint, float, SimulationResult]] = []
         with span(
             "tune.search",
             stencil=stencil_name or stencil.description(),
             platform=platform.name,
             variant=self.variant,
         ) as sp:
-            for point in self.space.candidates(
-                platform.arch.simd_width, stencil.radius, domain
-            ):
-                with span("tune.candidate", point=point.label()):
-                    res = simulate(
-                        stencil,
-                        self.variant,
-                        platform,
-                        domain=domain,
-                        stencil_name=stencil_name,
-                        dims=point.brick_dims(),
-                        vector_length=point.vector_length,
-                    )
-                ranked.append((point, res.time_s, res))
+            points = list(
+                self.space.candidates(
+                    platform.arch.simd_width, stencil.radius, domain
+                )
+            )
+            evaluate = functools.partial(
+                evaluate_candidate,
+                stencil=stencil,
+                variant=self.variant,
+                platform=platform,
+                domain=domain,
+                stencil_name=stencil_name,
+            )
+            results = parallel_map(evaluate, points, jobs=jobs)
+            ranked: List[Tuple[TuningPoint, float, SimulationResult]] = [
+                (point, res.time_s, res)
+                for point, res in zip(points, results)
+            ]
             counter("tune.candidates").inc(len(ranked))
             if sp is not None:
                 sp.set_attr("candidates", len(ranked))

@@ -1,0 +1,161 @@
+"""Persistent result caches: the on-disk study cache and the codegen memo."""
+
+import pickle
+
+import pytest
+
+from repro import cli, harness, obs
+from repro.bricks.layout import BrickDims
+from repro.codegen import CodegenOptions, clear_codegen_memo, generate
+from repro.dsl.shapes import by_name
+from repro.harness import serialization
+
+SMALL = harness.ExperimentConfig(stencils=("7pt",), domain=(64, 64, 64))
+
+
+@pytest.fixture
+def registry():
+    prev = obs.get_registry()
+    reg = obs.set_registry(obs.MetricsRegistry())
+    yield reg
+    obs.set_registry(prev)
+
+
+class TestDiskCache:
+    def test_round_trip(self, tmp_path):
+        study = harness.run_study(SMALL)
+        path = serialization.save_study_cache(study, str(tmp_path))
+        assert path == serialization.study_cache_path(str(tmp_path), SMALL)
+        loaded = serialization.load_study_cache(SMALL, str(tmp_path))
+        assert loaded is not None
+        assert loaded.config == SMALL
+        assert loaded.results == study.results
+
+    def test_key_depends_on_config(self):
+        other = harness.ExperimentConfig(stencils=("13pt",), domain=(64, 64, 64))
+        assert serialization.study_cache_key(SMALL) != serialization.study_cache_key(other)
+
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        assert serialization.load_study_cache(SMALL, str(tmp_path)) is None
+
+    def test_schema_version_mismatch_is_a_miss(self, tmp_path):
+        study = harness.run_study(SMALL)
+        path = serialization.save_study_cache(study, str(tmp_path))
+        with open(path, "rb") as f:
+            blob = pickle.load(f)
+        blob["schema_version"] = serialization.SCHEMA_VERSION + 1
+        with open(path, "wb") as f:
+            pickle.dump(blob, f)
+        assert serialization.load_study_cache(SMALL, str(tmp_path)) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        path = serialization.study_cache_path(str(tmp_path), SMALL)
+        tmp_path.mkdir(exist_ok=True)
+        with open(path, "wb") as f:
+            f.write(b"not a pickle at all")
+        assert serialization.load_study_cache(SMALL, str(tmp_path)) is None
+
+    def test_cached_study_warm_disk_skips_simulation(self, tmp_path, registry):
+        harness.clear_study_cache()
+        try:
+            harness.cached_study(SMALL, cache_dir=str(tmp_path))
+            assert registry.counter("simulate.calls").value == 15
+            assert registry.counter("study_disk_cache.misses").value == 1
+            # A fresh process has no memo; only the disk entry remains.
+            harness.clear_study_cache()
+            reg = obs.set_registry(obs.MetricsRegistry())
+            warm = harness.cached_study(SMALL, cache_dir=str(tmp_path))
+            assert reg.counter("simulate.calls").value == 0
+            assert reg.counter("study_disk_cache.hits").value == 1
+            assert len(warm) == 15
+        finally:
+            harness.clear_study_cache()
+
+    def test_no_cache_dir_never_touches_disk(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(serialization.CACHE_DIR_ENV, raising=False)
+        harness.clear_study_cache()
+        try:
+            harness.cached_study(SMALL)
+        finally:
+            harness.clear_study_cache()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_env_var_supplies_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(serialization.CACHE_DIR_ENV, str(tmp_path))
+        harness.clear_study_cache()
+        try:
+            harness.cached_study(SMALL)
+        finally:
+            harness.clear_study_cache()
+        assert list(tmp_path.glob("study-*.pkl"))
+
+
+class TestCliWarmCache:
+    def test_second_table_invocation_simulates_nothing(self, tmp_path, capsys):
+        """Acceptance: warm --cache-dir rerun performs zero simulate calls."""
+        prev = obs.get_registry()
+        harness.clear_study_cache()
+        try:
+            obs.set_registry(obs.MetricsRegistry())
+            assert cli.main(["table", "3", "--cache-dir", str(tmp_path)]) == 0
+            first = capsys.readouterr().out
+            harness.clear_study_cache()  # second CLI run = fresh process
+            reg = obs.set_registry(obs.MetricsRegistry())
+            assert cli.main(["table", "3", "--cache-dir", str(tmp_path)]) == 0
+            second = capsys.readouterr().out
+            assert reg.counter("simulate.calls").value == 0
+            assert reg.counter("study_disk_cache.hits").value == 1
+            assert second == first  # identical render from the cached sweep
+        finally:
+            obs.set_registry(prev)
+            harness.clear_study_cache()
+
+
+class TestCodegenMemo:
+    def setup_method(self):
+        clear_codegen_memo()
+
+    def teardown_method(self):
+        clear_codegen_memo()
+
+    def test_hit_returns_same_program(self, registry):
+        stencil = by_name("13pt").build()
+        dims = BrickDims((32, 4, 4))
+        opts = CodegenOptions(32, "auto")
+        first = generate(stencil, dims, opts)
+        second = generate(stencil, dims, opts)
+        assert second is first
+        assert registry.counter("codegen.memo_misses").value == 1
+        assert registry.counter("codegen.memo_hits").value == 1
+
+    def test_distinct_keys_do_not_collide(self):
+        stencil = by_name("13pt").build()
+        opts = CodegenOptions(32, "auto")
+        a = generate(stencil, BrickDims((32, 4, 4)), opts)
+        b = generate(stencil, BrickDims((32, 8, 4)), opts)
+        c = generate(by_name("7pt").build(), BrickDims((32, 4, 4)), opts)
+        assert a is not b and a is not c
+
+    def test_clear_resets(self, registry):
+        stencil = by_name("7pt").build()
+        dims = BrickDims((32, 4, 4))
+        opts = CodegenOptions(32, "auto")
+        generate(stencil, dims, opts)
+        clear_codegen_memo()
+        generate(stencil, dims, opts)
+        assert registry.counter("codegen.memo_misses").value == 2
+        assert registry.counter("codegen.memo_hits").value == 0
+
+    def test_memo_attribute_on_span(self):
+        prev = obs.get_tracer()
+        tracer = obs.set_tracer(obs.Tracer(enabled=True))
+        try:
+            stencil = by_name("7pt").build()
+            dims = BrickDims((32, 4, 4))
+            opts = CodegenOptions(32, "auto")
+            generate(stencil, dims, opts)
+            generate(stencil, dims, opts)
+        finally:
+            obs.set_tracer(prev)
+        spans = tracer.find("codegen.generate")
+        assert [s.attrs["memo"] for s in spans] == ["miss", "hit"]
