@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """Performance smoke gates: observability, the parallel sweep engine,
-and the vectorized cache simulator.
+the vectorized cache simulator, and (optionally) chaos testing.
 
-CI runs this after the unit tests.  Three gates:
+CI runs this after the unit tests.  Gates:
 
 1. **observability** — one traced ``simulate()`` must emit every
    pipeline-stage span and bump the expected counters, and the disabled
@@ -17,11 +17,20 @@ CI runs this after the unit tests.  Three gates:
    and match the serial result; the speedup gate scales with the
    machine (>= 2x only where >= 4 CPUs and >= 4 jobs are available —
    a 1-core container records honest numbers instead of failing).
+4. **chaos** (``--inject-faults [SEED]``) — the same sweep under a
+   seeded transient-fault plan (raised errors + corrupted payloads)
+   must complete via retries and stay bit-identical to the fault-free
+   serial run; the faulted run's span tree lands in ``--trace-out`` as
+   a Chrome trace for inspection.
 
 Timings land in ``BENCH_sweep.json`` (``--out``) so perf regressions
 are visible in review diffs.
 
-Exit status: 0 = all gates passed, 1 = something regressed.
+The whole run is traced: if any gate crashes (e.g. a worker dies), the
+error and the span tree at the time of the crash are printed to stderr
+and the exit status is 1 — a crash is never a silent pass.
+
+Exit status: 0 = all gates passed, 1 = something regressed or crashed.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ import json
 import os
 import sys
 import time
+import traceback
 
 import numpy as np
 
@@ -40,6 +50,7 @@ from repro.dsl.shapes import by_name
 from repro.gpu.cache import CacheSim
 from repro.gpu.progmodel import platform
 from repro.gpu.simulator import simulate
+from repro.resilience import FaultPlan, RetryPolicy
 
 #: Every span one simulate() call must produce, pipeline order.
 EXPECTED_SPANS = (
@@ -59,11 +70,22 @@ EXPECTED_COUNTERS = ("simulate.calls", "simulate.tiles", "codegen.vector_ops")
 VECTOR_SPEEDUP_FLOOR = 5.0
 VECTOR_SPEEDUP_TARGET = 10.0
 
+#: Chaos-leg fault rates (transient kinds only: the sweep must recover).
+CHAOS_RAISE_RATE = 0.06
+CHAOS_CORRUPT_RATE = 0.03
+
+
+def _counter_value(name: str) -> int:
+    try:
+        return obs.get_registry().get(name).value
+    except Exception:
+        return 0
+
 
 def obs_gate(failures: list) -> None:
     """Gate 1: the instrumentation regression check."""
-    tracer = obs.set_tracer(obs.Tracer(enabled=True))
-    registry = obs.set_registry(obs.MetricsRegistry())
+    tracer = obs.get_tracer()
+    registry = obs.get_registry()
 
     result = simulate(
         by_name("13pt").build(),
@@ -91,12 +113,15 @@ def obs_gate(failures: list) -> None:
             failures.append(f"missing counter: {name}")
 
     # Disabled-tracer overhead guard: span call sites must stay near-free.
+    # Swap in a disabled tracer for the measurement, then restore the
+    # run-wide one so later gates (and crash reports) keep their spans.
     obs.set_tracer(obs.Tracer(enabled=False))
     t0 = time.perf_counter()
     for _ in range(100_000):
         with obs.span("hot", a=1):
             pass
     elapsed = time.perf_counter() - t0
+    obs.set_tracer(tracer)
     print(f"disabled-tracer overhead: {elapsed * 1e3:.1f} ms / 100k spans")
     if elapsed > 2.0:
         failures.append(
@@ -179,12 +204,12 @@ def cachesim_bench(failures: list, doc: dict) -> None:
         )
 
 
-def _timed_study(parallel: int) -> tuple:
+def _timed_study(parallel: int, **kw) -> tuple:
     """One cold full sweep (memo + codegen memo cleared), timed."""
     harness.clear_study_cache()
     clear_codegen_memo()
     t0 = time.perf_counter()
-    study = harness.run_study(parallel=parallel)
+    study = harness.run_study(parallel=parallel, **kw)
     return study, time.perf_counter() - t0
 
 
@@ -227,6 +252,90 @@ def sweep_bench(failures: list, doc: dict, jobs: int) -> None:
         )
 
 
+def chaos_bench(
+    failures: list, doc: dict, jobs: int, seed: int, trace_out: str
+) -> None:
+    """Gate 4: the sweep under injected transient faults must recover.
+
+    A seeded :class:`FaultPlan` sprinkles transient raises and corrupt
+    payloads over the 90-point matrix; the retrying executor must still
+    deliver a complete study, bit-identical to the fault-free serial
+    baseline, with the retry counters accounting for every injection.
+    """
+    config = harness.ExperimentConfig()
+    plan = FaultPlan.seeded(
+        seed,
+        config.keys(),
+        raise_rate=CHAOS_RAISE_RATE,
+        corrupt_rate=CHAOS_CORRUPT_RATE,
+    )
+    policy = RetryPolicy(retries=3, backoff_s=0.01)
+
+    clean_study, _ = _timed_study(parallel=1)
+
+    retries_before = _counter_value("exec.retries")
+    roots_before = len(obs.get_tracer().roots())
+    chaotic_study, chaos_s = _timed_study(
+        parallel=jobs, policy=policy, fault_plan=plan
+    )
+    harness.clear_study_cache()
+    retries = _counter_value("exec.retries") - retries_before
+
+    doc["chaos"] = {
+        "seed": seed,
+        "jobs": jobs,
+        "injected_raise": plan.count("raise"),
+        "injected_corrupt": plan.count("corrupt"),
+        "retries": retries,
+        "failed_points": len(chaotic_study.failed),
+        "chaos_s": round(chaos_s, 3),
+    }
+    print(
+        f"chaos: seed {seed}, {plan.count('raise')} raises + "
+        f"{plan.count('corrupt')} corruptions injected, {retries} retries, "
+        f"{len(chaotic_study.failed)} failed points ({chaos_s:.2f} s)"
+    )
+
+    if len(plan) == 0:
+        failures.append(
+            f"chaos seed {seed} injected no faults over {len(config.keys())} "
+            f"keys — pick another seed"
+        )
+    if not chaotic_study.complete:
+        failures.append(
+            f"chaotic sweep did not recover: {len(chaotic_study.failed)} "
+            f"point(s) still failed after retries"
+        )
+    if chaotic_study.results != clean_study.results:
+        failures.append(
+            "chaotic sweep results differ from the fault-free serial sweep"
+        )
+    if len(plan) and retries < len(plan):
+        failures.append(
+            f"only {retries} retries recorded for {len(plan)} injected "
+            f"faults — injections were not exercised"
+        )
+    if trace_out:
+        obs.write_trace(
+            obs.get_tracer().roots()[roots_before:], trace_out, fmt="chrome"
+        )
+        print(f"chaos trace written to {trace_out}")
+
+
+def _run_gate(name: str, failures: list, fn, *args) -> None:
+    """Run one gate; a crash prints the span tree and fails the run."""
+    try:
+        fn(failures, *args)
+    except Exception as exc:
+        traceback.print_exc()
+        print(f"\n{name} gate crashed: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        print("span tree at time of crash:", file=sys.stderr)
+        print(obs.render_tree(obs.get_tracer().roots(), max_depth=3),
+              file=sys.stderr)
+        failures.append(f"{name} gate crashed: {type(exc).__name__}: {exc}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -237,14 +346,34 @@ def main(argv=None) -> int:
         "--out", default="BENCH_sweep.json",
         help="where to write the benchmark record (default BENCH_sweep.json)",
     )
+    parser.add_argument(
+        "--inject-faults", nargs="?", const=0, type=int, default=None,
+        metavar="SEED",
+        help="also run the chaos gate: sweep under seeded transient "
+             "faults, assert full recovery (default seed 0)",
+    )
+    parser.add_argument(
+        "--trace-out", default="CHAOS_trace.json",
+        help="Chrome trace of the chaos-gate sweep "
+             "(default CHAOS_trace.json; only written with --inject-faults)",
+    )
     args = parser.parse_args(argv)
+
+    # Trace the whole run so a crash anywhere can show its span tree.
+    obs.set_tracer(obs.Tracer(enabled=True))
+    obs.set_registry(obs.MetricsRegistry())
 
     failures: list = []
     doc: dict = {"schema_version": 1, "cpu_count": os.cpu_count() or 1}
 
-    obs_gate(failures)
-    cachesim_bench(failures, doc)
-    sweep_bench(failures, doc, jobs=args.jobs)
+    _run_gate("observability", failures, obs_gate)
+    _run_gate("cachesim", failures, cachesim_bench, doc)
+    _run_gate("sweep", failures, sweep_bench, doc, args.jobs)
+    if args.inject_faults is not None:
+        _run_gate(
+            "chaos", failures, chaos_bench, doc, args.jobs,
+            args.inject_faults, args.trace_out,
+        )
 
     with open(args.out, "w") as f:
         json.dump(doc, f, indent=1)

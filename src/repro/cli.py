@@ -22,11 +22,20 @@ Sweeps and tuning searches accept ``--jobs N`` (worker processes;
 sweep-rendering commands accept ``--cache-dir [DIR]`` to persist and
 reuse study results across invocations (``$REPRO_CACHE_DIR`` supplies a
 default directory).
+
+Fault tolerance (see :mod:`repro.resilience`): ``--retries N`` and
+``--task-timeout SECONDS`` configure the retry policy, ``--resume``
+continues an interrupted or partially-failed sweep from its checkpoint
+without re-simulating completed points, and ``--inject-faults [SEED]``
+deterministically injects transient faults for chaos testing.  A sweep
+with permanently failed points still renders (gaps + footnote) and
+``study`` exits with status 3 so scripts notice the degradation.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -37,12 +46,55 @@ from repro.codegen.emitters import CPU_ISAS, MODELS, emit as emit_source
 from repro.dsl.shapes import by_name, catalog
 from repro.gpu.progmodel import PROFILES, VARIANTS, platform
 from repro.profiling import profile as collect_profile
+from repro.resilience import FaultPlan, RetryPolicy
 from repro.tuning import Autotuner
+
+#: Seeded dev-mode fault rates for ``--inject-faults``: transient raises
+#: and corrupted payloads only (no hangs — a hang needs --task-timeout
+#: to recover, and a dev flag should never wedge a terminal).
+INJECT_RAISE_RATE = 0.06
+INJECT_CORRUPT_RATE = 0.03
+
+
+def _retry_policy(args) -> Optional[RetryPolicy]:
+    """A RetryPolicy from --retries/--task-timeout, or None for defaults."""
+    if args.retries is None and args.task_timeout is None:
+        return None
+    kwargs = {}
+    if args.retries is not None:
+        kwargs["retries"] = args.retries
+    if args.task_timeout is not None:
+        kwargs["timeout_s"] = args.task_timeout
+    return RetryPolicy(**kwargs)
+
+
+def _fault_plan(args) -> Optional[FaultPlan]:
+    """The seeded dev fault plan for --inject-faults, or None."""
+    if args.inject_faults is None:
+        return None
+    config = harness.ExperimentConfig()
+    return FaultPlan.seeded(
+        args.inject_faults,
+        config.keys(),
+        raise_rate=INJECT_RAISE_RATE,
+        corrupt_rate=INJECT_CORRUPT_RATE,
+    )
 
 
 def _cached_study(args):
+    cache_dir = args.cache_dir
+    if args.resume and not cache_dir:
+        # --resume needs somewhere to find the checkpoint: honour the
+        # environment first, then the default cache location.
+        cache_dir = (
+            os.environ.get(harness.CACHE_DIR_ENV) or harness.default_cache_dir()
+        )
     return harness.cached_study(
-        parallel=args.jobs, cache_dir=args.cache_dir
+        parallel=args.jobs,
+        cache_dir=cache_dir,
+        retry_policy=_retry_policy(args),
+        fault_plan=_fault_plan(args),
+        resume=args.resume,
     )
 
 
@@ -55,7 +107,8 @@ def _study(args) -> int:
     if args.json:
         harness.dump_study(study, args.json)
         print(f"study saved to {args.json}")
-    return 0
+    # A degraded sweep still renders, but scripts get a loud signal.
+    return 0 if study.complete else 3
 
 
 def _table(args) -> int:
@@ -129,7 +182,8 @@ def _tune(args) -> int:
     case = by_name(args.stencil)
     plat = platform(args.arch, args.model)
     outcome = Autotuner().tune(
-        case.build(), plat, stencil_name=case.name, jobs=args.jobs
+        case.build(), plat, stencil_name=case.name, jobs=args.jobs,
+        policy=_retry_policy(args),
     )
     print(f"best configuration for {case.name} on {plat.name}:")
     print(f"  {outcome.best.label()}  ({outcome.best_result.gflops:.1f} GF/s)")
@@ -185,6 +239,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=None, metavar="DIR",
         help="persist/reuse study results on disk (bare flag uses "
         f"{harness.default_cache_dir()}; default: $REPRO_CACHE_DIR or off)",
+    )
+    common.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry transient task failures up to N times with "
+        "exponential backoff (default: 2; deterministic model errors "
+        "are never retried)",
+    )
+    common.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill any single task exceeding this wall-clock deadline "
+        "(default: no deadline); timed-out points degrade to FAILED "
+        "entries instead of wedging the sweep",
+    )
+    common.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted or partially-failed sweep from the "
+        "checkpoint in the cache directory (implies --cache-dir); "
+        "completed points are never re-simulated",
+    )
+    common.add_argument(
+        "--inject-faults", type=int, nargs="?", const=0, default=None,
+        metavar="SEED",
+        help="dev/chaos flag: deterministically inject transient faults "
+        "(seeded; raises + corrupted payloads) into the sweep to "
+        "exercise the retry machinery",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

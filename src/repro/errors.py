@@ -39,3 +39,22 @@ class ObservabilityError(ReproError):
 
 class ExecutionError(ReproError):
     """Parallel execution engine misuse (bad job count, broken worker)."""
+
+
+class TransientError(ExecutionError):
+    """A task failure that is expected to succeed on retry.
+
+    The retry machinery (:mod:`repro.resilience`) re-runs tasks that
+    raise this (or a subclass); deterministic model errors —
+    :class:`SimulationError`, :class:`DSLError`, and the other
+    ``ReproError`` siblings — are *not* retried, because re-running a
+    deterministic computation can only fail the same way again.
+    """
+
+
+class TaskTimeoutError(ExecutionError):
+    """A task exceeded its per-task deadline and was killed."""
+
+
+class CorruptResultError(TransientError):
+    """A task returned a payload that failed result validation."""

@@ -4,16 +4,33 @@ A chunked process-pool map (:func:`parallel_map`) with deterministic
 result merge and worker-side tracer/metric capture, plus the
 module-level worker functions the sweep and tuner dispatch.  Serial
 execution (``jobs <= 1``, the default) bypasses the pool entirely.
+
+Fault tolerance — retries, per-task timeouts, graceful degradation,
+and fault injection — comes from :mod:`repro.resilience`; the policy
+and failure types are re-exported here for convenience.
 """
 
 from repro.exec.pool import JOBS_ENV, parallel_map, resolve_jobs
-from repro.exec.workers import StudyItem, evaluate_candidate, simulate_point
+from repro.exec.workers import (
+    StudyItem,
+    evaluate_candidate,
+    simulate_point,
+    study_item_key,
+    validate_simulation,
+)
+from repro.resilience import FaultPlan, FaultSpec, RetryPolicy, TaskFailure
 
 __all__ = [
     "JOBS_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
     "StudyItem",
+    "TaskFailure",
     "evaluate_candidate",
     "parallel_map",
     "resolve_jobs",
     "simulate_point",
+    "study_item_key",
+    "validate_simulation",
 ]

@@ -31,9 +31,15 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro import obs
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, TaskTimeoutError
 from repro.obs.export import span_to_dict, spans_from_dicts
 from repro.obs.metrics import Counter
+from repro.resilience.policy import (
+    DEFAULT_POLICY,
+    RetryPolicy,
+    TaskFailure,
+    run_with_policy,
+)
 
 __all__ = ["JOBS_ENV", "resolve_jobs", "parallel_map"]
 
@@ -94,19 +100,55 @@ def _capture_counters(registry: obs.MetricsRegistry) -> Dict[str, int]:
     }
 
 
+def _run_one(
+    fn: Callable[[T], R],
+    item: T,
+    policy: Optional[RetryPolicy],
+    capture: bool,
+) -> "R | TaskFailure":
+    """Run one task, optionally under a retry policy.
+
+    With neither a policy nor failure capture, this is a plain call —
+    the zero-overhead legacy path.  Otherwise the task runs through
+    :func:`run_with_policy`; when ``capture`` is set, a permanently
+    failed task degrades into a :class:`TaskFailure` record instead of
+    raising (``KeyboardInterrupt``/``SystemExit`` still propagate, so a
+    user abort is never swallowed).
+    """
+    if policy is None and not capture:
+        return fn(item)
+    try:
+        return run_with_policy(fn, item, policy or DEFAULT_POLICY)
+    except Exception as exc:
+        if not capture:
+            raise
+        return TaskFailure(
+            error_type=type(exc).__name__,
+            message=str(exc),
+            attempts=getattr(exc, "attempts", 1),
+            timed_out=isinstance(exc, TaskTimeoutError),
+        )
+
+
 def _run_chunk(
-    fn: Callable[[T], R], items: Sequence[T], trace: bool
-) -> Tuple[List[R], Dict[str, int], List[Dict[str, Any]]]:
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    trace: bool,
+    policy: Optional[RetryPolicy] = None,
+    capture: bool = False,
+) -> Tuple[List[Any], Dict[str, int], List[Dict[str, Any]]]:
     """Worker-side chunk runner: fresh obs state, capture, return.
 
     Installs a fresh registry (and, when the parent was tracing, a
     fresh enabled tracer) so this chunk's instrumentation is isolated
     from whatever the forked process inherited, then returns the
     results plus the counter snapshot and flattened finished spans.
+    Retries run here, in the worker that owns the chunk, so their
+    counters and spans travel back with everything else.
     """
     registry = obs.set_registry(obs.MetricsRegistry())
     tracer = obs.set_tracer(obs.Tracer(enabled=trace))
-    results = [fn(item) for item in items]
+    results = [_run_one(fn, item, policy, capture) for item in items]
     counters = _capture_counters(registry)
     spans = (
         [span_to_dict(s) for root in tracer.roots() for s in root.walk()]
@@ -134,7 +176,10 @@ def parallel_map(
     items: Iterable[T],
     jobs: Optional[int] = None,
     chunks_per_worker: int = _CHUNKS_PER_WORKER,
-) -> List[R]:
+    policy: Optional[RetryPolicy] = None,
+    capture_failures: bool = False,
+    on_result: Optional[Callable[[int, Any], None]] = None,
+) -> List[Any]:
     """Map ``fn`` over ``items``, optionally across worker processes.
 
     Results are returned in input order regardless of completion order,
@@ -144,20 +189,42 @@ def parallel_map(
     be picklable when ``jobs > 1`` — module-level functions (or
     :func:`functools.partial` over them) qualify.
 
-    Exceptions raised by ``fn`` propagate unchanged; observations from
-    chunks that completed before the failure are still merged.
+    Fault tolerance (see :mod:`repro.resilience`):
+
+    * ``policy`` runs every task through retry/backoff/timeout handling
+      — in the worker that owns the task when parallel, in-process when
+      serial, so behaviour is identical at any job count;
+    * ``capture_failures`` degrades a permanently failed task into a
+      :class:`~repro.resilience.TaskFailure` list entry instead of
+      raising, so one bad task cannot discard the rest of the map;
+    * ``on_result`` is called in the parent as ``(index, result)`` in
+      strict input order as results arrive (per item when serial, per
+      merged chunk when parallel) — the checkpoint hook.
+
+    Without those options, exceptions raised by ``fn`` propagate
+    unchanged; observations from chunks that completed before the
+    failure are still merged.
     """
     items = list(items)
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        results: List[Any] = []
+        for i, item in enumerate(items):
+            result = _run_one(fn, item, policy, capture_failures)
+            results.append(result)
+            if on_result is not None:
+                on_result(i, result)
+        return results
     jobs = min(jobs, len(items))
     trace = obs.get_tracer().enabled
     bounds = _chunk_bounds(len(items), jobs * chunks_per_worker)
-    results: List[R] = []
+    results = []
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = [
-            pool.submit(_run_chunk, fn, items[start:end], trace)
+            pool.submit(
+                _run_chunk, fn, items[start:end], trace, policy,
+                capture_failures,
+            )
             for start, end in bounds
         ]
         # Merge strictly in submission (= input) order: chunk results
@@ -166,5 +233,8 @@ def parallel_map(
         for future in futures:
             chunk_results, counters, span_dicts = future.result()
             _merge_observations(counters, span_dicts)
+            if on_result is not None:
+                for offset, result in enumerate(chunk_results):
+                    on_result(len(results) + offset, result)
             results.extend(chunk_results)
     return results

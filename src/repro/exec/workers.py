@@ -15,7 +15,8 @@ inputs.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Tuple
+import math
+from typing import TYPE_CHECKING, Any, Tuple
 
 from repro.dsl.stencil import Stencil
 from repro.gpu.progmodel import Platform
@@ -25,11 +26,42 @@ from repro.obs import span
 if TYPE_CHECKING:  # import cycle: tuning.search itself uses this module
     from repro.tuning.space import TuningPoint
 
-__all__ = ["StudyItem", "simulate_point", "evaluate_candidate"]
+__all__ = [
+    "StudyItem",
+    "simulate_point",
+    "evaluate_candidate",
+    "study_item_key",
+    "validate_simulation",
+]
 
 #: One point of the study matrix: (stencil name, stencil, platform,
 #: variant, domain).
 StudyItem = Tuple[str, Stencil, Platform, str, Tuple[int, int, int]]
+
+
+def study_item_key(item: StudyItem) -> Tuple[str, str, str]:
+    """The stable (stencil, platform, variant) identity of one item.
+
+    Used as the checkpoint/result key and as the fault-plan key — its
+    ``repr`` is stable across processes, unlike the item itself (which
+    carries full ``Stencil``/``Platform`` objects).
+    """
+    name, _, platform, variant, _ = item
+    return (name, platform.name, variant)
+
+
+def validate_simulation(result: Any) -> bool:
+    """Reject corrupted worker payloads before they enter a study.
+
+    A healthy result is a :class:`SimulationResult` with a finite,
+    positive sweep time; anything else (a poisoned pickle, NaN timing)
+    is treated as a transient failure and retried.
+    """
+    return (
+        isinstance(result, SimulationResult)
+        and math.isfinite(result.time_s)
+        and result.time_s > 0
+    )
 
 
 def simulate_point(item: StudyItem) -> SimulationResult:

@@ -11,8 +11,10 @@ Regenerate the paper's whole evaluation::
 
 from repro.harness.ascii_plot import AsciiPlot, correlation_ascii, roofline_ascii
 from repro.harness.experiments import (
+    CHECKPOINT_EVERY,
     STENCIL_NAMES,
     ExperimentConfig,
+    FailedPoint,
     StudyResults,
     cached_study,
     clear_study_cache,
@@ -34,15 +36,19 @@ from repro.harness.reporting import result_row, summary, to_csv, write_csv
 from repro.harness.serialization import (
     CACHE_DIR_ENV,
     SCHEMA_VERSION,
+    clear_study_checkpoint,
     compare_rows,
     default_cache_dir,
     dump_study,
     load_csv_rows,
     load_rows,
     load_study_cache,
+    load_study_checkpoint,
     save_study_cache,
+    save_study_checkpoint,
     study_cache_key,
     study_cache_path,
+    study_checkpoint_path,
     study_to_dict,
 )
 from repro.harness.tables import (
@@ -58,7 +64,9 @@ from repro.harness.tables import (
 __all__ = [
     "AsciiPlot",
     "CACHE_DIR_ENV",
+    "CHECKPOINT_EVERY",
     "ExperimentConfig",
+    "FailedPoint",
     "PortabilityTable",
     "RooflinePanel",
     "SCHEMA_VERSION",
@@ -66,7 +74,11 @@ __all__ = [
     "StudyResults",
     "cached_study",
     "clear_study_cache",
+    "clear_study_checkpoint",
     "load_csv_rows",
+    "load_study_checkpoint",
+    "save_study_checkpoint",
+    "study_checkpoint_path",
     "fig3",
     "fig4",
     "fig5",

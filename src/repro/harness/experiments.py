@@ -5,6 +5,13 @@ paper's matrix — six stencils (Table 2), five platform columns
 (A100-CUDA, A100-SYCL, MI250X-HIP, MI250X-SYCL, PVC-SYCL), three kernel
 variants — on the 512^3 domain, and returns a :class:`StudyResults`
 that every table and figure renderer consumes.
+
+The sweep is fault tolerant (see :mod:`repro.resilience`): tasks run
+under a retry policy, permanently failed matrix points degrade into
+structured :class:`FailedPoint` entries instead of killing the study,
+and — when a cache directory is given — completed points are
+periodically checkpointed so an interrupted or partially-failed run can
+``resume`` with zero recomputation.
 """
 
 from __future__ import annotations
@@ -16,40 +23,126 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.dsl.shapes import TABLE2, by_name
 from repro.dsl.stencil import Stencil
 from repro.errors import MetricError
-from repro.exec import parallel_map, resolve_jobs, simulate_point
+from repro.exec import (
+    RetryPolicy,
+    TaskFailure,
+    parallel_map,
+    resolve_jobs,
+    simulate_point,
+    study_item_key,
+    validate_simulation,
+)
 from repro.gpu.progmodel import VARIANTS, Platform, study_platforms
 from repro.gpu.simulator import SimulationResult
 from repro.obs import counter, span
+from repro.resilience import FaultPlan
 
 STENCIL_NAMES: Tuple[str, ...] = tuple(c.name for c in TABLE2)
 
 Key = Tuple[str, str, str]  # (stencil, platform name, variant)
 
+#: How many newly completed points accumulate between checkpoint flushes.
+CHECKPOINT_EVERY = 8
+
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """What to sweep; defaults reproduce the paper exactly."""
+    """What to sweep; defaults reproduce the paper exactly.
+
+    ``platform_filter`` restricts the sweep to a subset of the paper's
+    five platform columns (by name, in the given order); empty means
+    all of them.
+    """
 
     stencils: Tuple[str, ...] = STENCIL_NAMES
     variants: Tuple[str, ...] = VARIANTS
     domain: Tuple[int, int, int] = (512, 512, 512)
+    platform_filter: Tuple[str, ...] = ()
 
     def platforms(self) -> Tuple[Platform, ...]:
-        return study_platforms()
+        plats = study_platforms()
+        if not self.platform_filter:
+            return plats
+        by_platform_name = {p.name: p for p in plats}
+        missing = [n for n in self.platform_filter if n not in by_platform_name]
+        if missing:
+            raise MetricError(
+                f"unknown platform(s) {missing}; available: "
+                f"{sorted(by_platform_name)}"
+            )
+        return tuple(by_platform_name[n] for n in self.platform_filter)
+
+    def keys(self) -> Tuple[Key, ...]:
+        """Every (stencil, platform, variant) key, in sweep order."""
+        return tuple(
+            (name, platform.name, variant)
+            for name in self.stencils
+            for platform in self.platforms()
+            for variant in self.variants
+        )
+
+
+@dataclass(frozen=True)
+class FailedPoint:
+    """One matrix point that failed permanently (after retries).
+
+    Recorded in :attr:`StudyResults.failed` so renderers can show the
+    gap (with a footnote) instead of crashing, and ``--resume`` knows
+    exactly what is left to finish.
+    """
+
+    stencil: str
+    platform: str
+    variant: str
+    error_type: str
+    message: str
+    attempts: int
+    timed_out: bool
+
+    @property
+    def key(self) -> Key:
+        return (self.stencil, self.platform, self.variant)
+
+    def describe(self) -> str:
+        note = " after timeout" if self.timed_out else ""
+        return (
+            f"{self.stencil}/{self.platform}/{self.variant}: "
+            f"{self.error_type}: {self.message} "
+            f"({self.attempts} attempt{'s' if self.attempts != 1 else ''}{note})"
+        )
 
 
 @dataclass
 class StudyResults:
-    """All simulation results of one sweep, keyed for the renderers."""
+    """All simulation results of one sweep, keyed for the renderers.
+
+    ``failed`` holds the matrix points that could not be simulated
+    (graceful degradation); a study with failures still renders — the
+    missing cells show as gaps with a footnote.
+    """
 
     config: ExperimentConfig
     results: Dict[Key, SimulationResult] = field(default_factory=dict)
+    failed: Dict[Key, FailedPoint] = field(default_factory=dict)
 
     def get(self, stencil: str, platform: str, variant: str) -> SimulationResult:
         key = (stencil, platform, variant)
         if key not in self.results:
+            if key in self.failed:
+                raise MetricError(
+                    f"point {key} failed: {self.failed[key].describe()}"
+                )
             raise MetricError(f"no result for {key}; ran: {len(self.results)} points")
         return self.results[key]
+
+    def has(self, stencil: str, platform: str, variant: str) -> bool:
+        """Whether a successful result exists for this matrix point."""
+        return (stencil, platform, variant) in self.results
+
+    @property
+    def complete(self) -> bool:
+        """Every expected matrix point simulated successfully."""
+        return all(key in self.results for key in self.config.keys())
 
     def platform_names(self) -> List[str]:
         return [p.name for p in self.config.platforms()]
@@ -71,9 +164,25 @@ class StudyResults:
         return len(self.results)
 
 
+def _resolve_cache_dir(cache_dir: Optional[str]) -> Optional[str]:
+    """``None`` falls back to ``$REPRO_CACHE_DIR`` (empty = off)."""
+    # Local import: serialization imports this module for StudyResults.
+    from repro.harness import serialization
+
+    if cache_dir is None:
+        return os.environ.get(serialization.CACHE_DIR_ENV) or None
+    return cache_dir
+
+
 def run_study(
     config: ExperimentConfig | None = None,
     parallel: Optional[int] = None,
+    *,
+    policy: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
+    checkpoint_every: int = CHECKPOINT_EVERY,
 ) -> StudyResults:
     """Simulate the full matrix; deterministic, a few seconds of work.
 
@@ -82,7 +191,23 @@ def run_study(
     means one worker per CPU).  Results, counters, and the span tree
     are identical either way: workers trace into their own tracer and
     the engine re-aggregates everything deterministically.
+
+    Fault tolerance:
+
+    * ``policy`` governs retries/backoff/per-task timeouts (default: a
+      couple of quick retries, no deadline); a result validator is
+      installed automatically so corrupted payloads are retried;
+    * points that still fail degrade into :attr:`StudyResults.failed`
+      entries (counted as ``exec.failed_points``) instead of raising;
+    * with ``cache_dir``, completed points are checkpointed every
+      ``checkpoint_every`` completions, and ``resume=True`` preloads
+      the checkpoint so only missing/failed points are re-simulated
+      (``study.resumed_points`` counts the skips);
+    * ``fault_plan`` injects deterministic faults (tests and the
+      ``--inject-faults`` dev flag).
     """
+    from repro.harness import serialization
+
     config = config or ExperimentConfig()
     study = StudyResults(config=config)
     platforms = config.platforms()  # hoisted: one catalogue per sweep
@@ -94,12 +219,84 @@ def run_study(
                 items.append(
                     (name, stencil, platform, variant, config.domain)
                 )
+    cache_dir = _resolve_cache_dir(cache_dir)
+
+    done: Dict[Key, SimulationResult] = {}
+    if resume and cache_dir:
+        done = serialization.load_study_checkpoint(config, cache_dir) or {}
+        if done:
+            counter("study.resumed_points").inc(len(done))
+
+    pending = [it for it in items if study_item_key(it) not in done]
+    pending_keys = [study_item_key(it) for it in pending]
+    fn = (
+        simulate_point
+        if fault_plan is None
+        else fault_plan.wrap(simulate_point, key_fn=study_item_key)
+    )
+    policy = (policy or RetryPolicy()).with_validate(validate_simulation)
+
+    on_result = None
+    if cache_dir:
+        checkpoint = dict(done)
+        flush_state = {"fresh": 0}
+
+        def on_result(index: int, result: object) -> None:
+            if isinstance(result, TaskFailure):
+                return
+            checkpoint[pending_keys[index]] = result
+            flush_state["fresh"] += 1
+            if flush_state["fresh"] >= max(1, checkpoint_every):
+                serialization.save_study_checkpoint(
+                    config, checkpoint, cache_dir
+                )
+                flush_state["fresh"] = 0
+
     jobs = resolve_jobs(parallel)
-    with span("run_study", points=len(items), jobs=jobs):
-        results = parallel_map(simulate_point, items, jobs=jobs)
-        for (name, _, platform, variant, _), result in zip(items, results):
-            study.results[(name, platform.name, variant)] = result
+    with span(
+        "run_study", points=len(items), jobs=jobs, resumed=len(done)
+    ) as sp:
+        study.results.update(done)
+        outcomes = parallel_map(
+            fn,
+            pending,
+            jobs=jobs,
+            policy=policy,
+            capture_failures=True,
+            on_result=on_result,
+        )
+        for key, outcome in zip(pending_keys, outcomes):
+            if isinstance(outcome, TaskFailure):
+                study.failed[key] = FailedPoint(
+                    stencil=key[0],
+                    platform=key[1],
+                    variant=key[2],
+                    error_type=outcome.error_type,
+                    message=outcome.message,
+                    attempts=outcome.attempts,
+                    timed_out=outcome.timed_out,
+                )
+            else:
+                study.results[key] = outcome
+        # Canonical key order regardless of the resume prefill, so a
+        # resumed study iterates identically to a single-shot one.
+        study.results = {
+            key: study.results[key]
+            for key in config.keys()
+            if key in study.results
+        }
         counter("study.points").inc(len(study.results))
+        if study.failed:
+            counter("exec.failed_points").inc(len(study.failed))
+            if sp is not None:
+                sp.set_attr("failed", len(study.failed))
+        if cache_dir:
+            if study.complete:
+                serialization.clear_study_checkpoint(config, cache_dir)
+            else:
+                serialization.save_study_checkpoint(
+                    config, study.results, cache_dir
+                )
     return study
 
 
@@ -111,6 +308,10 @@ def cached_study(
     config: ExperimentConfig | None = None,
     parallel: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    *,
+    retry_policy: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    resume: bool = False,
 ) -> StudyResults:
     """Memoised :func:`run_study`: one sweep per config per process.
 
@@ -125,14 +326,15 @@ def cached_study(
     *CLI invocations* skip the sweep too; ``None`` falls back to
     ``$REPRO_CACHE_DIR``, and with neither set the disk is never
     touched.  Disk traffic is recorded as ``study_disk_cache.*``
-    counters and a ``disk`` span attribute.
+    counters and a ``disk`` span attribute.  Only *complete* studies
+    enter the full-study cache — a degraded sweep leaves its checkpoint
+    behind for ``resume`` instead.
     """
     # Local import: serialization imports this module for StudyResults.
     from repro.harness import serialization
 
     config = config or ExperimentConfig()
-    if cache_dir is None:
-        cache_dir = os.environ.get(serialization.CACHE_DIR_ENV) or None
+    cache_dir = _resolve_cache_dir(cache_dir)
     hit = config in _STUDY_CACHE
     counter("study_cache.hits" if hit else "study_cache.misses").inc()
     with span("cached_study", cache="hit" if hit else "miss") as sp:
@@ -148,8 +350,15 @@ def cached_study(
                 if sp is not None:
                     sp.set_attr("disk", disk)
             if study is None:
-                study = run_study(config, parallel=parallel)
-                if cache_dir:
+                study = run_study(
+                    config,
+                    parallel=parallel,
+                    policy=retry_policy,
+                    fault_plan=fault_plan,
+                    cache_dir=cache_dir,
+                    resume=resume,
+                )
+                if cache_dir and study.complete:
                     serialization.save_study_cache(study, cache_dir)
             _STUDY_CACHE[config] = study
     return _STUDY_CACHE[config]

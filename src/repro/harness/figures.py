@@ -53,7 +53,11 @@ class RooflinePanel:
 
 
 def fig3(study: StudyResults) -> List[RooflinePanel]:
-    """All Roofline panels (one per platform column)."""
+    """All Roofline panels (one per platform column).
+
+    Failed matrix points (``study.failed``) are skipped — the panel
+    simply has a gap where the kernel could not be simulated.
+    """
     panels = []
     for plat in study.config.platforms():
         roof = empirical_roofline(plat)
@@ -61,6 +65,8 @@ def fig3(study: StudyResults) -> List[RooflinePanel]:
         for variant in study.config.variants:
             pts = []
             for name in study.config.stencils:
+                if not study.has(name, plat.name, variant):
+                    continue
                 r = study.get(name, plat.name, variant)
                 pts.append((name, r.arithmetic_intensity, r.gflops))
             series[variant] = pts
@@ -82,6 +88,7 @@ def fig4(study: StudyResults) -> Dict[str, Dict[str, List[Tuple[str, float]]]]:
             out[pname][variant] = [
                 (name, study.get(name, pname, variant).l1_gbytes)
                 for name in study.config.stencils
+                if study.has(name, pname, variant)
             ]
     return out
 
@@ -102,10 +109,26 @@ def render_fig4(study: StudyResults) -> str:
 # ---------------------------------------------------------------------------
 
 
+def _paired(study: StudyResults, y_platform: str, x_platform: str):
+    """Results of two platforms, restricted to their common points.
+
+    A failed point on either side drops that (stencil, variant) pair
+    from the correlation instead of crashing the figure.
+    """
+    y_all = study.for_platform(y_platform)
+    x_all = study.for_platform(x_platform)
+    common = {(r.stencil_name, r.variant) for r in y_all} & {
+        (r.stencil_name, r.variant) for r in x_all
+    }
+    return (
+        [r for r in y_all if (r.stencil_name, r.variant) in common],
+        [r for r in x_all if (r.stencil_name, r.variant) in common],
+    )
+
+
 def fig5(study: StudyResults) -> Tuple[CorrelationModel, CorrelationModel]:
     """A100: CUDA (y) vs SYCL (x) — performance and bytes accessed."""
-    cuda = study.for_platform("A100-CUDA")
-    sycl = study.for_platform("A100-SYCL")
+    cuda, sycl = _paired(study, "A100-CUDA", "A100-SYCL")
     return (
         correlate(cuda, sycl, quantity="gflops"),
         correlate(cuda, sycl, quantity="hbm_gbytes"),
@@ -114,8 +137,7 @@ def fig5(study: StudyResults) -> Tuple[CorrelationModel, CorrelationModel]:
 
 def fig6(study: StudyResults) -> Tuple[CorrelationModel, CorrelationModel]:
     """MI250X: HIP (y) vs SYCL (x) — performance and bytes accessed."""
-    hip = study.for_platform("MI250X-HIP")
-    sycl = study.for_platform("MI250X-SYCL")
+    hip, sycl = _paired(study, "MI250X-HIP", "MI250X-SYCL")
     return (
         correlate(hip, sycl, quantity="gflops"),
         correlate(hip, sycl, quantity="hbm_gbytes"),
@@ -154,6 +176,8 @@ def fig7(study: StudyResults, variant: str = "bricks_codegen") -> List[SpeedupPo
     for name in study.config.stencils:
         stencil = by_name(name).build()
         for pname in study.platform_names():
+            if not study.has(name, pname, variant):
+                continue
             res = study.get(name, pname, variant)
             pts.append(
                 SpeedupPoint(

@@ -58,8 +58,16 @@ def write_csv(results: "StudyResults | Iterable[SimulationResult]", path: str) -
 
 
 def summary(study: StudyResults) -> str:
-    """One line per result, profiler-report style."""
+    """One line per result, profiler-report style.
+
+    Failed matrix points (graceful degradation) are listed at the end
+    so a degraded sweep is impossible to mistake for a complete one.
+    """
     lines = [f"study: {len(study)} kernel runs on {study.config.domain} domain"]
     for r in iter_results(study):
         lines.append("  " + r.describe())
+    if study.failed:
+        lines.append(f"  FAILED points: {len(study.failed)} (resume with --resume)")
+        for _, fp in sorted(study.failed.items()):
+            lines.append(f"    {fp.describe()}")
     return "\n".join(lines)

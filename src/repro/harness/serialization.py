@@ -35,7 +35,7 @@ SCHEMA_VERSION = 1
 
 
 def study_to_dict(study: StudyResults) -> Dict:
-    return {
+    doc = {
         "format_version": FORMAT_VERSION,
         "schema_version": SCHEMA_VERSION,
         "domain": list(study.config.domain),
@@ -43,6 +43,20 @@ def study_to_dict(study: StudyResults) -> Dict:
         "variants": list(study.config.variants),
         "results": [result_row(r) for r in iter_results(study)],
     }
+    if study.failed:
+        doc["failed"] = [
+            {
+                "stencil": fp.stencil,
+                "platform": fp.platform,
+                "variant": fp.variant,
+                "error_type": fp.error_type,
+                "message": fp.message,
+                "attempts": fp.attempts,
+                "timed_out": fp.timed_out,
+            }
+            for _, fp in sorted(study.failed.items())
+        ]
+    return doc
 
 
 def dump_study(study: StudyResults, path: str) -> None:
@@ -186,6 +200,80 @@ def load_study_cache(
     if not isinstance(study, StudyResults) or study.config != config:
         return None
     return study
+
+
+# ---- sweep checkpoints (interrupt/failure recovery) -----------------------
+#
+# A checkpoint is the completed slice of one sweep: a plain dict of
+# (stencil, platform, variant) -> SimulationResult, flushed periodically
+# by ``run_study`` while the sweep is in flight and finalised when it
+# ends degraded.  ``run_study(resume=True)`` preloads it, so a crashed,
+# interrupted, or partially-failed run finishes with zero re-simulation
+# of the points that already succeeded.  Checkpoints live next to the
+# full-study cache entries (same directory, same config hash,
+# ``.ckpt.pkl`` suffix) and are deleted once the sweep completes.
+
+
+def study_checkpoint_path(cache_dir: str, config: ExperimentConfig) -> str:
+    return os.path.join(
+        cache_dir, f"study-{study_cache_key(config)}.ckpt.pkl"
+    )
+
+
+def save_study_checkpoint(
+    config: ExperimentConfig, results: Dict, cache_dir: str
+) -> str:
+    """Atomically persist the completed slice of one sweep."""
+    os.makedirs(cache_dir, exist_ok=True)
+    path = study_checkpoint_path(cache_dir, config)
+    blob = {
+        "schema_version": SCHEMA_VERSION,
+        "config": config,
+        "results": dict(results),
+    }
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as f:
+            pickle.dump(blob, f, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return path
+
+
+def load_study_checkpoint(
+    config: ExperimentConfig, cache_dir: str
+) -> Optional[Dict]:
+    """Completed points of an earlier run, or None on any mismatch.
+
+    Missing files, unreadable pickles, schema drift, and config
+    mismatches all load as None — the sweep simply starts from scratch.
+    """
+    path = study_checkpoint_path(cache_dir, config)
+    try:
+        with open(path, "rb") as f:
+            blob = pickle.load(f)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError):
+        return None
+    if not isinstance(blob, dict) or blob.get("schema_version") != SCHEMA_VERSION:
+        return None
+    if blob.get("config") != config:
+        return None
+    results = blob.get("results")
+    if not isinstance(results, dict):
+        return None
+    return results
+
+
+def clear_study_checkpoint(config: ExperimentConfig, cache_dir: str) -> None:
+    """Remove the checkpoint (the sweep completed; nothing to resume)."""
+    path = study_checkpoint_path(cache_dir, config)
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
 
 
 def compare_rows(old: List[Dict], new: List[Dict], rtol: float = 0.02) -> List[str]:

@@ -9,7 +9,7 @@ artifact.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.dsl.analysis import analyze, theoretical_ai
 from repro.dsl.shapes import TABLE2, by_name
@@ -86,13 +86,20 @@ def render_table4() -> str:
 
 @dataclass(frozen=True)
 class PortabilityTable:
-    """A Table-3/5-shaped matrix: per-stencil efficiencies + P column."""
+    """A Table-3/5-shaped matrix: per-stencil efficiencies + P column.
+
+    A ``None`` efficiency marks a matrix point that failed to simulate;
+    it renders as ``n/a`` (zeroing that stencil's P, per Pennycook's
+    "unsupported platform" branch) and the failure is footnoted.
+    """
 
     title: str
     platform_names: Tuple[str, ...]
-    #: stencil -> (per-platform efficiency ..., P)
-    rows: Dict[str, Tuple[Tuple[float, ...], float]]
+    #: stencil -> (per-platform efficiency or None ..., P)
+    rows: Dict[str, Tuple[Tuple[Optional[float], ...], float]]
     overall: float
+    #: Human-readable descriptions of failed points, if any.
+    failed: Tuple[str, ...] = ()
 
     def render(self) -> str:
         header = f"{'Stencil':>8}" + "".join(
@@ -100,9 +107,19 @@ class PortabilityTable:
         ) + f"{'P':>8}"
         lines = [self.title, header]
         for name, (effs, p) in self.rows.items():
-            cells = "".join(f"{100 * e:>12.0f}%" for e in effs)
+            cells = "".join(
+                f"{'n/a *':>13}" if e is None else f"{100 * e:>12.0f}%"
+                for e in effs
+            )
             lines.append(f"{name:>8}{cells}{100 * p:>7.0f}%")
         lines.append(f"{'overall':>8}{'':>{13 * len(self.platform_names)}}{100 * self.overall:>7.0f}%")
+        if self.failed:
+            lines.append(
+                "* point failed to simulate; P treats it as unsupported "
+                "(Pennycook's zero branch):"
+            )
+            for description in self.failed:
+                lines.append(f"    {description}")
         return "\n".join(lines)
 
 
@@ -113,20 +130,33 @@ def _portability_table(
     rooflines = {
         p.name: empirical_roofline(p) for p in study.config.platforms()
     }
-    rows: Dict[str, Tuple[Tuple[float, ...], float]] = {}
+    rows: Dict[str, Tuple[Tuple[Optional[float], ...], float]] = {}
     per_stencil_p = []
+    failed: List[str] = []
     for name in study.config.stencils:
         stencil = by_name(name).build()
-        effs = []
+        effs: List[Optional[float]] = []
         for pname in platforms:
-            res = study.get(name, pname, variant)
-            effs.append(efficiency(res, stencil, rooflines[pname]))
+            if study.has(name, pname, variant):
+                res = study.get(name, pname, variant)
+                effs.append(efficiency(res, stencil, rooflines[pname]))
+            else:
+                effs.append(None)
+                fp = study.failed.get((name, pname, variant))
+                failed.append(
+                    fp.describe() if fp is not None
+                    else f"{name}/{pname}/{variant}: not simulated"
+                )
         p = performance_portability(dict(zip(platforms, effs)))
         rows[name] = (tuple(effs), p)
         per_stencil_p.append(p)
     overall = aggregate_portability(per_stencil_p)
     return PortabilityTable(
-        title=title, platform_names=tuple(platforms), rows=rows, overall=overall
+        title=title,
+        platform_names=tuple(platforms),
+        rows=rows,
+        overall=overall,
+        failed=tuple(failed),
     )
 
 

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.dsl.stencil import Stencil
 from repro.errors import SimulationError
-from repro.exec import evaluate_candidate, parallel_map
+from repro.exec import RetryPolicy, TaskFailure, evaluate_candidate, parallel_map
 from repro.gpu.progmodel import Platform
 from repro.gpu.simulator import SimulationResult
 from repro.obs import counter, span
@@ -56,12 +56,19 @@ class Autotuner:
         domain: Tuple[int, int, int] = (512, 512, 512),
         stencil_name: str | None = None,
         jobs: Optional[int] = None,
+        policy: Optional[RetryPolicy] = None,
     ) -> TuningOutcome:
         """Grid-search the space; ``jobs`` workers evaluate candidates.
 
         ``jobs`` follows the engine convention (``None`` consults
         ``$REPRO_JOBS``, ``<= 1`` is serial, ``0`` is one per CPU); the
         outcome is identical at any job count.
+
+        ``policy`` turns on resilient evaluation: transient candidate
+        failures are retried per the policy, and candidates that still
+        fail are dropped from the ranking (counted as
+        ``exec.failed_points``) instead of aborting the whole search —
+        unless *every* candidate failed, which raises.
         """
         key = (
             stencil.offsets(),
@@ -93,14 +100,29 @@ class Autotuner:
                 domain=domain,
                 stencil_name=stencil_name,
             )
-            results = parallel_map(evaluate, points, jobs=jobs)
-            ranked: List[Tuple[TuningPoint, float, SimulationResult]] = [
-                (point, res.time_s, res)
-                for point, res in zip(points, results)
-            ]
+            results = parallel_map(
+                evaluate, points, jobs=jobs, policy=policy,
+                capture_failures=policy is not None,
+            )
+            ranked: List[Tuple[TuningPoint, float, SimulationResult]] = []
+            dropped: List[Tuple[TuningPoint, TaskFailure]] = []
+            for point, res in zip(points, results):
+                if isinstance(res, TaskFailure):
+                    dropped.append((point, res))
+                else:
+                    ranked.append((point, res.time_s, res))
             counter("tune.candidates").inc(len(ranked))
             if sp is not None:
                 sp.set_attr("candidates", len(ranked))
+            if dropped:
+                counter("exec.failed_points").inc(len(dropped))
+                if sp is not None:
+                    sp.set_attr("failed", len(dropped))
+        if not ranked and dropped:
+            raise SimulationError(
+                f"every tuning candidate failed on {platform.name}; first: "
+                f"{dropped[0][0].label()}: {dropped[0][1].describe()}"
+            )
         if not ranked:
             raise SimulationError(
                 f"tuning space is empty for radius {stencil.radius} on "
