@@ -3,8 +3,7 @@
 
 from __future__ import annotations
 
-from repro import dsl, harness
-from repro.metrics import fraction_of_roofline, fraction_of_theoretical_ai
+from repro import harness
 from repro.roofline import empirical_roofline
 
 PAPER_TABLE3 = {

@@ -59,7 +59,7 @@ class Span:
     @property
     def duration_s(self) -> float:
         """Span duration; 0.0 while the span is still open."""
-        return (self.t_end - self.t_start) if self.finished else 0.0
+        return (self.t_end - self.t_start) if self.t_end is not None else 0.0
 
     @property
     def duration_ms(self) -> float:
@@ -88,8 +88,8 @@ class _NoopSpan:
     def __enter__(self) -> None:
         return None
 
-    def __exit__(self, *exc: object) -> bool:
-        return False
+    def __exit__(self, *exc: object) -> None:
+        return None
 
 
 NOOP_SPAN = _NoopSpan()
@@ -110,11 +110,13 @@ class _ActiveSpan:
         self._span = self._tracer._open(self._name, self._attrs)
         return self._span
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type, exc, tb) -> None:
+        s = self._span
+        if s is None:  # __exit__ without __enter__; nothing to close
+            return
         if exc_type is not None:
-            self._span.attrs.setdefault("error", exc_type.__name__)
-        self._tracer._close(self._span)
-        return False
+            s.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._close(s)
 
 
 class Tracer:

@@ -9,7 +9,7 @@ tracks conserved/diagnostic quantities for validation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -9,7 +9,7 @@ brick/tile extents, vector length, codegen strategy, and brick ordering.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Tuple
 
 from repro.bricks.decomposition import ORDERINGS

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.bricks import BrickDims, BrickGrid, BrickedField
+from repro.bricks import BrickDims, BrickedField
 from repro.errors import LayoutError
 from repro.reference import random_field
 

@@ -5,8 +5,6 @@ import pytest
 from repro.dsl import by_name, compulsory_bytes, star
 from repro.errors import SimulationError
 from repro.gpu import (
-    architecture,
-    estimate_traffic,
     layer_condition_extra,
     occupancy_factor,
     platform,

@@ -21,7 +21,7 @@ class TestAsciiPlot:
         text = p.render()
         assert "t" in text and "o=s1" in text
         # Canvas rows all share the width.
-        rows = [l for l in text.splitlines() if l.startswith("|")]
+        rows = [line for line in text.splitlines() if line.startswith("|")]
         assert len(rows) == 20
         assert all(len(r) == 65 for r in rows)
 
