@@ -359,6 +359,12 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    # Every simulate() in the gates asserts the physical-sanity
+    # invariants of repro.validate (exported, so worker processes
+    # inherit it): a model regression fails the gate loudly instead of
+    # shipping insane numbers into the benchmark record.
+    os.environ.setdefault("REPRO_VALIDATE", "1")
+
     # Trace the whole run so a crash anywhere can show its span tree.
     obs.set_tracer(obs.Tracer(enabled=True))
     obs.set_registry(obs.MetricsRegistry())

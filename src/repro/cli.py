@@ -10,6 +10,7 @@ Installed as the ``repro-stencil`` console script::
     repro-stencil emit --stencil 13pt --model SYCL --layout brick
     repro-stencil tune --stencil 27pt --arch PVC --model SYCL
     repro-stencil obs
+    repro-stencil validate [--update-golden]
 
 Every subcommand accepts ``--trace FILE`` / ``--trace-format
 {jsonl,chrome,tree}``: the run executes under an enabled tracer and the
@@ -193,6 +194,27 @@ def _tune(args) -> int:
     return 0
 
 
+def _validate(args) -> int:
+    # Imported lazily: the validate package pulls in the whole model
+    # stack, which the lighter subcommands don't need at parse time.
+    from repro import validate
+
+    study = _cached_study(args)
+    if not study.complete:
+        print(harness.summary(study))
+        print("\nerror: cannot validate a degraded sweep; fix or --resume "
+              "the failed points first", file=sys.stderr)
+        return 3
+    golden = None if args.no_golden else (args.golden or validate.DEFAULT_GOLDEN_PATH)
+    report = validate.validate_study(
+        study, golden_path=golden, update_golden=args.update_golden
+    )
+    print(report.render())
+    if args.update_golden:
+        print(f"golden baseline written to {golden}")
+    return 0 if report.ok else 1
+
+
 def _obs(args) -> int:
     # Pre-create the cache counters so the table always shows both rows
     # (a fresh process records only a miss).
@@ -283,6 +305,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("number", type=int, choices=(3, 4, 5, 6, 7))
     p.add_argument("--ascii", action="store_true", help="text-mode plot")
     p.set_defaults(func=_figure)
+
+    p = sub.add_parser(
+        "validate",
+        help="run the model-invariant validation pass over the full sweep",
+        parents=[common],
+    )
+    p.add_argument(
+        "--golden", metavar="FILE", default=None,
+        help="golden baseline to check against (default: tests/golden/"
+        "study.json)",
+    )
+    p.add_argument(
+        "--update-golden", action="store_true",
+        help="rewrite the golden baseline from this run instead of "
+        "checking it",
+    )
+    p.add_argument(
+        "--no-golden", action="store_true",
+        help="skip the golden-baseline comparison (invariants and "
+        "probes only)",
+    )
+    p.set_defaults(func=_validate)
 
     p = sub.add_parser(
         "obs",

@@ -37,6 +37,18 @@ class ObservabilityError(ReproError):
     """Tracing/metrics layer misuse (metric type clash, bad export format)."""
 
 
+class ValidationError(ReproError):
+    """A simulation result violated a physical-sanity invariant.
+
+    Raised by the opt-in ``check_invariants=`` hook of
+    :func:`repro.gpu.simulator.simulate` and carried (as structured
+    :class:`repro.validate.Violation` rows) by the ``repro-stencil
+    validate`` pass.  Deliberately *not* a :class:`TransientError`: an
+    invariant violation is deterministic model breakage, and retrying a
+    broken model can only fail the same way again.
+    """
+
+
 class ExecutionError(ReproError):
     """Parallel execution engine misuse (bad job count, broken worker)."""
 

@@ -16,6 +16,7 @@ FLOPs, HBM and L1 bytes, runtime, and the diagnostic breakdowns.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Tuple
 
@@ -37,6 +38,17 @@ VARIANT_CONFIG = {
     "array_codegen": ("array", "auto"),
     "bricks_codegen": ("brick", "auto"),
 }
+
+#: Environment switch for the opt-in per-result invariant check: any
+#: non-empty value other than "0" turns it on (the chaos/bench gates
+#: export it so every simulated point is asserted physically sane).
+VALIDATE_ENV = "REPRO_VALIDATE"
+
+
+def _validate_enabled(check_invariants: bool | None) -> bool:
+    if check_invariants is not None:
+        return check_invariants
+    return os.environ.get(VALIDATE_ENV, "0") not in ("", "0")
 
 
 @dataclass(frozen=True)
@@ -97,12 +109,20 @@ def simulate(
     stencil_name: str | None = None,
     dims: BrickDims | None = None,
     vector_length: int | None = None,
+    check_invariants: bool | None = None,
 ) -> SimulationResult:
     """Simulate one kernel sweep and return its profile.
 
     ``domain`` is in dimension order ``(ni, nj, nk)`` and must be a
     multiple of the tile shape.  ``dims`` / ``vector_length`` override
     the architecture defaults (used by the brick-size ablation).
+
+    ``check_invariants`` opts into asserting every physical-sanity
+    invariant of :mod:`repro.validate` against the result before it is
+    returned (violations raise
+    :class:`~repro.errors.ValidationError`); ``None`` defers to the
+    ``REPRO_VALIDATE`` environment variable, which the chaos and bench
+    gates export.
     """
     if variant not in VARIANTS:
         raise SimulationError(f"unknown variant '{variant}'; known: {VARIANTS}")
@@ -140,7 +160,7 @@ def simulate(
         counter("simulate.calls").inc()
         counter("simulate.tiles").inc(ntiles)
         counter("codegen.vector_ops").inc(len(program.ops))
-        return SimulationResult(
+        result = SimulationResult(
             platform=platform,
             variant=variant,
             stencil_name=name,
@@ -151,3 +171,18 @@ def simulate(
             cost=cost,
             strategy=program.strategy,
         )
+        if _validate_enabled(check_invariants):
+            # Imported lazily: repro.validate reaches back into the
+            # harness for its probes, so a module-level import cycles.
+            from repro.errors import ValidationError
+            from repro.validate import check_result, render_violations
+
+            violations = check_result(result)
+            if violations:
+                counter("simulate.invariant_violations").inc(len(violations))
+                raise ValidationError(
+                    f"{len(violations)} invariant violation(s) for "
+                    f"{name}/{platform.name}/{variant}:\n"
+                    + render_violations(violations)
+                )
+        return result

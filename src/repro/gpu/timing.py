@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.codegen.cost import ProgramCost
+from repro.errors import SimulationError
 from repro.gpu.arch import GPUArchitecture
 from repro.gpu.progmodel import ModelProfile, VariantProfile
 from repro.gpu.traffic import Traffic
@@ -58,6 +59,20 @@ SHUFFLE_CYCLES = {
 }
 
 
+def shuffle_cycles_for(vendor: str) -> float:
+    """Exposed cycles per lane-shift for ``vendor``.
+
+    Unknown vendors are a configuration error, not a lookup accident:
+    callers get a :class:`SimulationError` naming the supported vendors
+    instead of a bare ``KeyError``.
+    """
+    try:
+        return SHUFFLE_CYCLES[vendor]
+    except KeyError:
+        raise SimulationError(
+            f"no shuffle-cost calibration for vendor '{vendor}'; "
+            f"known vendors: {sorted(SHUFFLE_CYCLES)}"
+        ) from None
 
 
 def occupancy_factor(registers: int, reg_budget: int) -> float:
@@ -129,7 +144,7 @@ def kernel_time(
     t_fp = flops_exec / (arch.peak_fp64 * profile.mixbench_fp_frac * vp.fp_eff)
 
     # Exposed shuffle/exchange latency (serial with the data streams).
-    shuffle_cycles = SHUFFLE_CYCLES[arch.vendor]
+    shuffle_cycles = shuffle_cycles_for(arch.vendor)
     t_shuffle = (
         cost.shuffles * ntiles * shuffle_cycles / (arch.num_cus * arch.clock_ghz * 1e9)
     )

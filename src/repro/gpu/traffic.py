@@ -65,8 +65,13 @@ def layer_condition_extra(
     input planes (array layout) or the ``r`` boundary rows of each brick
     plane (brick layout — interior brick rows are never needed by a
     k-neighbour).  If that working set exceeds the effective LLC, the
-    shared planes are re-fetched, adding ``miss_fraction * 2r / tile_k``
-    of the domain per sweep.
+    shared planes are re-fetched, adding ``miss_fraction *
+    shared_planes / tile_k`` of the domain per sweep — the re-read
+    volume is proportional to the planes actually shared, so in the
+    deep-miss limit a brick sweep re-reads exactly half the bytes of an
+    array sweep at the same radius (the
+    ``brick-reread-proportional-to-shared-planes`` invariant in
+    :mod:`repro.validate`).
     """
     ni, nj, _ = domain
     r = stencil.radius
@@ -76,7 +81,7 @@ def layer_condition_extra(
         return 0.0
     miss_fraction = (working_set - llc_effective_bytes) / working_set
     n = prod(domain)
-    return miss_fraction * (2 * r / tile_k) * n * FP64_BYTES
+    return miss_fraction * (shared_planes / tile_k) * n * FP64_BYTES
 
 
 def estimate_traffic(

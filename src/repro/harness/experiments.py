@@ -223,9 +223,22 @@ def run_study(
 
     done: Dict[Key, SimulationResult] = {}
     if resume and cache_dir:
-        done = serialization.load_study_checkpoint(config, cache_dir) or {}
+        # A checkpoint left by a degraded run records its permanent
+        # failures as FailedPoint entries alongside the successes.  Only
+        # the successes are preloaded; failed points fall through to
+        # ``pending`` so they are *re-attempted under the current retry
+        # policy* rather than replayed as permanent failures.
+        loaded = serialization.load_study_checkpoint(config, cache_dir) or {}
+        done = {
+            key: value
+            for key, value in loaded.items()
+            if isinstance(value, SimulationResult)
+        }
         if done:
             counter("study.resumed_points").inc(len(done))
+        retried_failures = len(loaded) - len(done)
+        if retried_failures:
+            counter("study.reattempted_failures").inc(retried_failures)
 
     pending = [it for it in items if study_item_key(it) not in done]
     pending_keys = [study_item_key(it) for it in pending]
@@ -294,8 +307,11 @@ def run_study(
             if study.complete:
                 serialization.clear_study_checkpoint(config, cache_dir)
             else:
+                # Record the failures too, so a later ``--resume`` knows
+                # which points failed (vs. never ran) — they are always
+                # re-attempted, never trusted as results.
                 serialization.save_study_checkpoint(
-                    config, study.results, cache_dir
+                    config, {**study.results, **study.failed}, cache_dir
                 )
     return study
 
@@ -336,12 +352,22 @@ def cached_study(
     config = config or ExperimentConfig()
     cache_dir = _resolve_cache_dir(cache_dir)
     hit = config in _STUDY_CACHE
+    if hit and resume and not _STUDY_CACHE[config].complete:
+        # A degraded sweep is memoised so repeated renders don't
+        # re-simulate its failures, but an explicit ``resume`` request
+        # means "re-attempt them under the current retry policy" — a
+        # stale degraded memo must not replay its FailedPoints as
+        # permanent.
+        hit = False
+        counter("study_cache.resume_retries").inc()
     counter("study_cache.hits" if hit else "study_cache.misses").inc()
     with span("cached_study", cache="hit" if hit else "miss") as sp:
         if not hit:
             study = None
             if cache_dir:
                 study = serialization.load_study_cache(config, cache_dir)
+                if study is not None and resume and not study.complete:
+                    study = None  # same rule for a stale on-disk entry
                 disk = "hit" if study is not None else "miss"
                 counter(
                     "study_disk_cache.hits" if disk == "hit"

@@ -15,6 +15,11 @@ from typing import List, Sequence, Tuple
 
 from repro.errors import MetricError
 
+#: The paper's annotated iso-bands, in increasing-speed-up order: on or
+#: below the 1x curve, between the 1x and 2x curves, between 2x and 4x,
+#: and beyond the 4x curve.
+BANDS: Tuple[str, ...] = ("1x", "1x-2x", "2x-4x", ">4x")
+
 
 @dataclass(frozen=True)
 class SpeedupPoint:
@@ -34,13 +39,20 @@ class SpeedupPoint:
         return 1.0 / (self.ai_fraction * self.roofline_fraction)
 
     def band(self) -> str:
-        """The iso-curve band the paper annotates (1x / 2x / 4x / >4x)."""
+        """The iso-curve band the paper annotates (1x / 2x / 4x / >4x).
+
+        Partitions the plane into the four :data:`BANDS`: ``"1x"``
+        (already at or past the iso-potential roof, ``s <= 1``),
+        ``"1x-2x"``, ``"2x-4x"``, and ``">4x"``.
+        """
         s = self.potential_speedup
+        if s <= 1.0:
+            return BANDS[0]
         if s <= 2.0:
-            return "<=2x"
+            return BANDS[1]
         if s <= 4.0:
-            return "2x-4x"
-        return ">4x"
+            return BANDS[2]
+        return BANDS[3]
 
 
 def iso_curve(speedup: float, xs: Sequence[float]) -> List[Tuple[float, float]]:
@@ -61,7 +73,7 @@ def summarize(points: Sequence[SpeedupPoint]) -> dict:
     """Counts per iso-band plus the extreme points."""
     if not points:
         raise MetricError("summary of an empty speed-up set")
-    bands: dict = {"<=2x": 0, "2x-4x": 0, ">4x": 0}
+    bands: dict = {name: 0 for name in BANDS}
     for p in points:
         bands[p.band()] += 1
     best = min(points, key=lambda p: p.potential_speedup)

@@ -1,0 +1,254 @@
+"""Cross-model consistency oracles.
+
+The analytic models in :mod:`repro.gpu.traffic` and
+:mod:`repro.gpu.coalesce` make closed-form claims that an independent
+mechanism can re-derive from first principles:
+
+* the **layer condition** says when k-adjacent tile slabs re-fetch
+  their shared planes — replaying the actual cache-line trace of a
+  tiled sweep through the LRU :class:`~repro.gpu.cache.CacheSim` must
+  agree on *which side of the capacity threshold* a configuration sits,
+  and the analytic re-read volume must be a **lower bound** on the
+  replayed amplification (the closed form counts only shared-plane
+  re-fetches; real LRU thrashing additionally evicts lines inside a
+  slab, so it can only re-read *more*).  Measured on the 64^3 reference
+  trace: analytic/replay read amplification 1.34 vs 2.36 at a quarter
+  of the working set, 1.23 vs 1.46 at half — qualitative agreement with
+  a documented one-sided tolerance, not a tight quantitative match;
+* the **coalescing arithmetic** prices a warp access in sector
+  transactions — enumerating the byte footprint of every lane and
+  counting distinct sectors must reproduce it exactly;
+* the **cache statistics** must be self-coherent (hits <= accesses,
+  hits + misses = accesses, fills <= misses) and identical between the
+  scalar oracle path and the vectorized NumPy path.
+
+All three register as ``probe`` invariants in the shared registry, so
+``repro-stencil validate`` runs them alongside the physical-sanity
+checks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.dsl import analysis, shapes
+from repro.gpu import cache, coalesce, traffic
+from repro.validate.invariants import invariant
+
+#: Reference trace geometry: 64^3 domain, the paper's (4, 4, 16) tile,
+#: radius 1 — shared-plane working set ni * nj * 2r * 8 B = 64 KiB.
+TRACE_DOMAIN: Tuple[int, int, int] = (64, 64, 64)
+TRACE_TILE: Tuple[int, int, int] = (4, 4, 16)
+TRACE_RADIUS = 1
+TRACE_LINE_BYTES = 128
+
+#: Above the layer-condition threshold the replay must sit near the
+#: compulsory floor: measured 1.03x on the reference trace, bound 1.15x.
+NEAR_COMPULSORY_TOL = 1.15
+
+#: One-sided slack on "analytic amplification <= replayed amplification"
+#: (the lower-bound claim); covers line-granularity rounding only.
+LOWER_BOUND_SLACK = 1.05
+
+
+def sweep_trace(
+    domain: Tuple[int, int, int],
+    tile: Tuple[int, int, int],
+    radius: int,
+    line_doubles: int = TRACE_LINE_BYTES // analysis.FP64_BYTES,
+) -> np.ndarray:
+    """Cache-line trace of one tiled array sweep (reads only).
+
+    ``domain``/``tile`` in numpy order ``(nk, nj, ni)``; the input field
+    is a dense halo-padded array and each tile reads its padded rows in
+    order — the same access structure the analytic model prices.
+    """
+    r = radius
+    nk, nj, ni = domain
+    bk, bj, bi = tile
+    pj, pi = nj + 2 * r, ni + 2 * r
+    lines: List[int] = []
+    for tk in range(nk // bk):
+        for tj in range(nj // bj):
+            for ti in range(ni // bi):
+                for k in range(tk * bk, tk * bk + bk + 2 * r):
+                    for j in range(tj * bj, tj * bj + bj + 2 * r):
+                        base = (k * pj + j) * pi + ti * bi
+                        lines.extend(
+                            cache.dense_row_lines(
+                                base,
+                                bi + 2 * r,
+                                line_bytes=line_doubles * analysis.FP64_BYTES,
+                            )
+                        )
+    return np.array(lines)
+
+
+def _reference_trace() -> np.ndarray:
+    return sweep_trace(TRACE_DOMAIN, TRACE_TILE, TRACE_RADIUS)
+
+
+def _analytic_amplification(llc_bytes: float) -> Tuple[float, float]:
+    """(extra bytes, read amplification) from the closed-form model."""
+    stencil = shapes.star(TRACE_RADIUS)
+    nk, nj, ni = TRACE_DOMAIN
+    bk = TRACE_TILE[0]
+    extra = traffic.layer_condition_extra(
+        stencil, "array", bk, (ni, nj, nk), llc_bytes
+    )
+    r = TRACE_RADIUS
+    compulsory = (ni + 2 * r) * (nj + 2 * r) * (nk + 2 * r) * analysis.FP64_BYTES
+    return extra, 1.0 + extra / compulsory
+
+
+@invariant(
+    "layer-condition-matches-lru-replay",
+    "probe",
+    "the analytic layer condition agrees with a trace-driven LRU replay: "
+    "same side of the capacity threshold, and its re-read volume lower-"
+    "bounds the replayed amplification",
+)
+def _layer_condition_matches_lru_replay() -> Iterable[str]:
+    trace = _reference_trace()
+    unique = len(np.unique(trace))
+    nj, ni = TRACE_DOMAIN[1], TRACE_DOMAIN[2]
+    ws = ni * nj * 2 * TRACE_RADIUS * analysis.FP64_BYTES  # 64 KiB
+
+    # Above the threshold: no analytic re-reads, replay near compulsory.
+    # The replay needs a streaming margin past the shared-plane working
+    # set (in-flight tile rows compete for capacity), so the
+    # near-compulsory claim is checked at 4x — the same margin the
+    # trace-driven tests use.
+    roomy = 4 * ws
+    extra, _ = _analytic_amplification(roomy)
+    sim = cache.CacheSim(
+        capacity_bytes=roomy, line_bytes=TRACE_LINE_BYTES, associativity=0
+    )
+    misses = sim.access_array(trace)
+    if extra != 0.0:
+        yield (
+            f"analytic model re-reads {extra:.3e} bytes with the shared "
+            f"planes resident (LLC {roomy} >= 4x working set)"
+        )
+    if misses > unique * NEAR_COMPULSORY_TOL:
+        yield (
+            f"LRU replay at LLC {roomy} missed {misses} lines, more than "
+            f"{NEAR_COMPULSORY_TOL}x the {unique} compulsory lines"
+        )
+
+    # Below the threshold: analytic re-reads appear, and the analytic
+    # amplification lower-bounds the replayed one (it only counts the
+    # shared-plane re-fetches LRU thrashing necessarily includes).
+    for starved in (ws // 2, ws // 4):
+        extra, analytic_amp = _analytic_amplification(float(starved))
+        sim = cache.CacheSim(
+            capacity_bytes=int(starved),
+            line_bytes=TRACE_LINE_BYTES,
+            associativity=0,
+        )
+        misses = sim.access_array(trace)
+        replay_amp = misses / unique
+        if extra <= 0.0:
+            yield (
+                f"analytic model reports no re-reads at LLC {starved} "
+                f"(below the {ws}-byte working set)"
+            )
+            continue
+        if not 1.0 < analytic_amp <= replay_amp * LOWER_BOUND_SLACK:
+            yield (
+                f"LLC {starved}: analytic amplification {analytic_amp:.3f} "
+                f"does not lower-bound the LRU replay {replay_amp:.3f} "
+                f"(slack {LOWER_BOUND_SLACK}x)"
+            )
+
+
+@invariant(
+    "coalescing-sectors-match-replay",
+    "probe",
+    "closed-form sector counts equal a brute-force enumeration of the "
+    "sectors each lane's bytes touch",
+)
+def _coalescing_sectors_match_replay() -> Iterable[str]:
+    sector = coalesce.SECTOR_BYTES
+    elem = analysis.FP64_BYTES
+
+    def replay_contiguous(start_byte: int, lanes: int) -> int:
+        touched = {
+            (start_byte + i) // sector for i in range(lanes * elem)
+        }
+        return len(touched)
+
+    for start in (0, 8, 24, 120, 121):
+        for lanes in (1, 4, 16, 32, 64):
+            want = replay_contiguous(start, lanes)
+            got = coalesce.contiguous_sectors(start, lanes)
+            if got != want:
+                yield (
+                    f"contiguous_sectors(start={start}, lanes={lanes}) = "
+                    f"{got}, replay touches {want} sectors"
+                )
+
+    def replay_strided(lanes: int, stride: int) -> int:
+        touched = set()
+        for lane in range(lanes):
+            base = lane * stride
+            touched.update((base + i) // sector for i in range(elem))
+        return len(touched)
+
+    for lanes in (16, 32, 64):
+        for stride in (8, 16, 32, 64, 256):
+            want = replay_strided(lanes, stride)
+            got = coalesce.strided_sectors(lanes, stride)
+            if got != want:
+                yield (
+                    f"strided_sectors(lanes={lanes}, stride={stride}) = "
+                    f"{got}, replay touches {want} sectors"
+                )
+        got = coalesce.scalarized_sectors(lanes)
+        if got != lanes:
+            yield f"scalarized_sectors({lanes}) = {got}, expected {lanes}"
+
+
+@invariant(
+    "cache-stats-coherent",
+    "probe",
+    "cache statistics are self-coherent and identical between the "
+    "scalar oracle and the vectorized path",
+)
+def _cache_stats_coherent() -> Iterable[str]:
+    trace = _reference_trace()
+    capacity = 256 * 2**10
+    scalar = cache.CacheSim(
+        capacity_bytes=capacity, line_bytes=TRACE_LINE_BYTES, vectorize=False
+    )
+    vector = cache.CacheSim(
+        capacity_bytes=capacity, line_bytes=TRACE_LINE_BYTES, vectorize=True
+    )
+    scalar.access_array(trace)
+    vector.access_array(trace)
+    for label, sim in (("scalar", scalar), ("vectorized", vector)):
+        st = sim.stats
+        if st.hits > st.accesses:
+            yield f"{label}: hits {st.hits} exceed accesses {st.accesses}"
+        if st.hits + st.misses != st.accesses:
+            yield (
+                f"{label}: hits {st.hits} + misses {st.misses} != "
+                f"accesses {st.accesses}"
+            )
+        if st.fills > st.misses:
+            yield f"{label}: fills {st.fills} exceed misses {st.misses}"
+        if st.accesses != trace.size:
+            yield (
+                f"{label}: {st.accesses} accesses recorded for a "
+                f"{trace.size}-access trace"
+            )
+    if (
+        scalar.stats != vector.stats
+        or scalar.resident_lines() != vector.resident_lines()
+    ):
+        yield (
+            f"scalar and vectorized paths disagree: {scalar.stats} vs "
+            f"{vector.stats}"
+        )

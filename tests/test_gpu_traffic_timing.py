@@ -74,6 +74,29 @@ class TestTraffic:
         brick = layer_condition_extra(s, "brick", 4, (512, 512, 512), cap)
         assert brick < arr
 
+    def test_layer_condition_reread_proportional_to_shared_planes(self):
+        # Regression: the re-read volume must scale with the planes a
+        # layout actually shares (2r array, r brick), not a hardcoded
+        # 2r for both.  In the deep-miss limit (zero effective LLC, miss
+        # fraction 1 for both layouts) brick re-reads exactly half.
+        for radius in (1, 2, 4):
+            s = star(radius)
+            arr = layer_condition_extra(s, "array", 4, (512, 512, 512), 0.0)
+            brick = layer_condition_extra(s, "brick", 4, (512, 512, 512), 0.0)
+            assert arr > 0
+            assert brick == pytest.approx(arr / 2)
+            # Closed form: miss_fraction 1 -> shared/tile_k of the domain.
+            assert arr == pytest.approx((2 * radius / 4) * 512**3 * 8)
+
+    def test_layer_condition_brick_threshold_sits_at_r_planes(self):
+        # A cache holding the r brick boundary planes but not the 2r
+        # array planes separates the layouts at the threshold too.
+        s = star(2)
+        ws_brick = 512 * 512 * 2 * 8  # nj * ni * r * FP64
+        cap = ws_brick * 1.5
+        assert layer_condition_extra(s, "brick", 4, (512, 512, 512), cap) == 0.0
+        assert layer_condition_extra(s, "array", 4, (512, 512, 512), cap) > 0.0
+
     def test_l1_gap_naive_vs_codegen(self):
         # Figure 4: array moves 10x or more L1 bytes vs codegen variants.
         naive = sim("27pt", "array")
@@ -90,6 +113,17 @@ class TestTraffic:
 
 
 class TestTiming:
+    def test_unknown_vendor_is_a_simulation_error(self):
+        from repro.gpu.timing import SHUFFLE_CYCLES, shuffle_cycles_for
+
+        with pytest.raises(SimulationError) as exc:
+            shuffle_cycles_for("TransmetaGPU")
+        # The error names the offender and the supported vendors.
+        assert "TransmetaGPU" in str(exc.value)
+        for vendor in SHUFFLE_CYCLES:
+            assert vendor in str(exc.value)
+            assert shuffle_cycles_for(vendor) == SHUFFLE_CYCLES[vendor]
+
     def test_occupancy_factor(self):
         assert occupancy_factor(10, 64) == 1.0
         assert occupancy_factor(64, 64) == 1.0

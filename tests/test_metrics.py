@@ -146,8 +146,18 @@ class TestSpeedupPlane:
         assert p.band() == "2x-4x"
 
     def test_bands(self):
-        assert SpeedupPoint("a", 1.0, 0.9).band() == "<=2x"
+        # The paper's four iso-bands: 1x / 1x-2x / 2x-4x / >4x.
+        assert SpeedupPoint("done", 1.0, 1.0).band() == "1x"
+        assert SpeedupPoint("past", 1.2, 1.0).band() == "1x"
+        assert SpeedupPoint("a", 1.0, 0.9).band() == "1x-2x"
+        assert SpeedupPoint("m", 1.0, 0.3).band() == "2x-4x"
         assert SpeedupPoint("b", 0.3, 0.3).band() == ">4x"
+
+    def test_band_edges(self):
+        # Band boundaries are inclusive on the lower-speed-up side.
+        assert SpeedupPoint("e1", 1.0, 1.0).band() == "1x"
+        assert SpeedupPoint("e2", 1.0, 0.5).band() == "1x-2x"
+        assert SpeedupPoint("e4", 0.5, 0.5).band() == "2x-4x"
 
     def test_invalid(self):
         with pytest.raises(MetricError):
@@ -166,7 +176,8 @@ class TestSpeedupPlane:
             SpeedupPoint("bad", 0.3, 0.3),
         ]
         s = summarize(pts)
-        assert s["bands"]["<=2x"] == 1 and s["bands"][">4x"] == 1
+        assert tuple(s["bands"]) == ("1x", "1x-2x", "2x-4x", ">4x")
+        assert s["bands"]["1x-2x"] == 1 and s["bands"][">4x"] == 1
         assert s["best"].label == "good"
         assert s["worst"].label == "bad"
         with pytest.raises(MetricError):

@@ -97,9 +97,12 @@ class TestInterruptAndResume:
             cache_dir=cache_dir,
         )
         assert not study.complete and set(study.failed) == {FAIL_KEY}
-        # The degraded run leaves its 5 good points checkpointed.
+        # The degraded run checkpoints its 5 good points plus the
+        # FailedPoint record (so --resume knows failed vs. never-ran).
         done = serialization.load_study_checkpoint(CONFIG, cache_dir)
-        assert done is not None and set(done) == set(study.results)
+        assert done is not None
+        assert set(done) == set(study.results) | {FAIL_KEY}
+        assert isinstance(done[FAIL_KEY], harness.FailedPoint)
 
         calls_before = _count(registry, "simulate.calls")
         retry = harness.run_study(
@@ -108,6 +111,87 @@ class TestInterruptAndResume:
         assert retry.complete and not retry.failed
         assert _count(registry, "simulate.calls") - calls_before == 1
         assert serialization.load_study_checkpoint(CONFIG, cache_dir) is None
+
+    def test_interrupt_then_fail_then_resume_with_higher_retries(
+        self, registry, tmp_path
+    ):
+        """The full degradation story: an interrupted sweep leaves a
+        checkpoint, the first resume still fails one point permanently
+        (too few retries for its transient fault), and a second resume
+        under a higher retry budget re-attempts that FailedPoint and
+        completes — it is never replayed as a permanent failure."""
+        cache_dir = str(tmp_path)
+        interrupt = FaultPlan(faults=(
+            (INTERRUPT_KEY, FaultSpec("interrupt", failures=-1)),
+        ))
+        with pytest.raises(KeyboardInterrupt):
+            harness.run_study(
+                CONFIG, parallel=1, fault_plan=interrupt,
+                cache_dir=cache_dir, checkpoint_every=1,
+            )
+
+        # Resume #1: FAIL_KEY needs 3 attempts but the policy allows 2.
+        flaky = FaultPlan(faults=(
+            (FAIL_KEY, FaultSpec("raise", failures=3)),
+        ))
+        degraded = harness.run_study(
+            CONFIG, parallel=1, fault_plan=flaky,
+            policy=RetryPolicy(retries=1, backoff_s=0.0),
+            cache_dir=cache_dir, resume=True,
+        )
+        assert not degraded.complete
+        assert set(degraded.failed) == {FAIL_KEY}
+        done = serialization.load_study_checkpoint(CONFIG, cache_dir)
+        assert done is not None and FAIL_KEY in done
+
+        # Resume #2: a higher retry budget re-attempts the failed point
+        # (fresh fault plan: the fault is transient across runs too).
+        calls_before = _count(registry, "simulate.calls")
+        final = harness.run_study(
+            CONFIG, parallel=1,
+            policy=RetryPolicy(retries=3, backoff_s=0.0),
+            cache_dir=cache_dir, resume=True,
+        )
+        assert final.complete and not final.failed
+        # Only the failed point was re-simulated; the 5 good points
+        # (4 pre-interrupt + 1 from resume #1) came from the checkpoint.
+        assert _count(registry, "simulate.calls") - calls_before == 1
+        assert _count(registry, "study.reattempted_failures") == 1
+        assert serialization.load_study_checkpoint(CONFIG, cache_dir) is None
+
+    def test_cached_study_resume_bypasses_degraded_memo(
+        self, registry, tmp_path
+    ):
+        """cached_study memoises a degraded sweep (renders shouldn't
+        re-simulate), but an explicit resume=True must bypass both the
+        in-process memo and any stale on-disk entry and re-attempt the
+        failures — this was the --resume bug."""
+        cache_dir = str(tmp_path)
+        plan = FaultPlan(faults=(
+            (FAIL_KEY, FaultSpec("raise", failures=-1)),
+        ))
+        harness.clear_study_cache()
+        try:
+            degraded = harness.cached_study(
+                CONFIG, parallel=1, cache_dir=cache_dir,
+                retry_policy=RetryPolicy(retries=1, backoff_s=0.0),
+                fault_plan=plan,
+            )
+            assert not degraded.complete and FAIL_KEY in degraded.failed
+            # Without resume, the memo serves the degraded study as-is.
+            assert harness.cached_study(
+                CONFIG, parallel=1, cache_dir=cache_dir
+            ) is degraded
+
+            resumed = harness.cached_study(
+                CONFIG, parallel=1, cache_dir=cache_dir, resume=True
+            )
+            assert resumed is not degraded
+            assert resumed.complete and not resumed.failed
+            assert resumed.has(*FAIL_KEY)
+            assert _count(registry, "study_cache.resume_retries") == 1
+        finally:
+            harness.clear_study_cache()
 
     def test_resume_with_no_checkpoint_runs_everything(
         self, registry, tmp_path
