@@ -24,7 +24,12 @@ CI runs this after the unit tests.  Gates:
    a Chrome trace for inspection.
 
 Timings land in ``BENCH_sweep.json`` (``--out``) so perf regressions
-are visible in review diffs.
+are visible in review diffs.  With ``--telemetry-db PATH`` (default
+``$REPRO_TELEMETRY_DB``) the whole run — span tree, counters, and the
+gate values above — is also appended to the persistent telemetry
+warehouse and judged against its rolling baseline; the ``obs diff``
+verdict prints at the end as a *soft* gate (cross-run drift warns, only
+the hard in-run gates fail the build).
 
 The whole run is traced: if any gate crashes (e.g. a worker dies), the
 error and the span tree at the time of the crash are printed to stderr
@@ -36,6 +41,7 @@ Exit status: 0 = all gates passed, 1 = something regressed or crashed.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import os
 import sys
@@ -45,6 +51,7 @@ import traceback
 import numpy as np
 
 from repro import harness, obs
+from repro.errors import ObservabilityError
 from repro.codegen import clear_codegen_memo
 from repro.dsl.shapes import by_name
 from repro.gpu.cache import CacheSim
@@ -322,6 +329,77 @@ def chaos_bench(
         print(f"chaos trace written to {trace_out}")
 
 
+def _gate_results(doc: dict) -> dict:
+    """The ``doc`` numbers worth trending, as named telemetry gates.
+
+    The pass flags mirror the hard conditions the gates above enforce;
+    purely informational rates (points/s, retry counts) record as
+    passed so they trend without ever having gated.
+    """
+    gates: dict = {}
+    if "cachesim" in doc:
+        speedup = doc["cachesim"]["speedup"]
+        gates["cachesim.speedup"] = (speedup, speedup >= VECTOR_SPEEDUP_FLOOR)
+        gates["cachesim.vectorized_accesses_per_s"] = (
+            float(doc["cachesim"]["vectorized_accesses_per_s"]), True,
+        )
+    if "sweep" in doc:
+        sweep = doc["sweep"]
+        cpus = doc.get("cpu_count", 1)
+        binding = cpus >= 4 and sweep["jobs"] >= 4
+        gates["sweep.speedup"] = (
+            sweep["speedup"], sweep["speedup"] >= 2.0 or not binding,
+        )
+        gates["sweep.parallel_points_per_s"] = (
+            sweep["parallel_points_per_s"], True,
+        )
+        gates["sweep.serial_points_per_s"] = (
+            sweep["serial_points_per_s"], True,
+        )
+    if "chaos" in doc:
+        gates["chaos.retries"] = (float(doc["chaos"]["retries"]), True)
+        gates["chaos.failed_points"] = (
+            float(doc["chaos"]["failed_points"]),
+            doc["chaos"]["failed_points"] == 0,
+        )
+    return gates
+
+
+def record_telemetry(
+    db_path: str, doc: dict, failures: list, duration_s: float
+) -> None:
+    """Append this bench run to the warehouse and print the soft verdict.
+
+    Cross-run drift warns rather than fails: the in-run gates are the
+    hard floor, the warehouse diff is the trend alarm (CI's dedicated
+    telemetry job turns it into a hard check on a controlled history).
+    """
+    config = {"jobs": doc.get("sweep", {}).get("jobs"),
+              "chaos": "chaos" in doc}
+    config_hash = hashlib.sha256(
+        json.dumps(config, sort_keys=True).encode()
+    ).hexdigest()[:16]
+    try:
+        with obs.TelemetryStore(db_path) as store:
+            run_id = store.record_run(
+                "bench_smoke",
+                gates=_gate_results(doc),
+                config_hash=config_hash,
+                duration_s=duration_s,
+                extra={"gate_failures": list(failures)},
+            )
+            report = obs.diff_run(store, run_id=run_id)
+        print(f"telemetry: run {run_id} appended to {db_path}")
+        print(report.render())
+        if not report.ok:
+            print(
+                "WARNING: telemetry drift vs rolling baseline (soft gate, "
+                "not failing the build)"
+            )
+    except (OSError, ObservabilityError) as exc:
+        failures.append(f"telemetry recording failed: {exc}")
+
+
 def _run_gate(name: str, failures: list, fn, *args) -> None:
     """Run one gate; a crash prints the span tree and fails the run."""
     try:
@@ -357,6 +435,12 @@ def main(argv=None) -> int:
         help="Chrome trace of the chaos-gate sweep "
              "(default CHAOS_trace.json; only written with --inject-faults)",
     )
+    parser.add_argument(
+        "--telemetry-db", default=None, metavar="PATH",
+        help="append the run (spans, counters, gate values) to this "
+        "telemetry warehouse and print the cross-run obs diff verdict "
+        "(default: $REPRO_TELEMETRY_DB or off)",
+    )
     args = parser.parse_args(argv)
 
     # Every simulate() in the gates asserts the physical-sanity
@@ -371,6 +455,7 @@ def main(argv=None) -> int:
 
     failures: list = []
     doc: dict = {"schema_version": 1, "cpu_count": os.cpu_count() or 1}
+    t_start = time.perf_counter()
 
     _run_gate("observability", failures, obs_gate)
     _run_gate("cachesim", failures, cachesim_bench, doc)
@@ -385,6 +470,12 @@ def main(argv=None) -> int:
         json.dump(doc, f, indent=1)
         f.write("\n")
     print(f"benchmark record written to {args.out}")
+
+    telemetry_db = obs.resolve_db_path(args.telemetry_db)
+    if telemetry_db:
+        record_telemetry(
+            telemetry_db, doc, failures, time.perf_counter() - t_start
+        )
 
     if failures:
         print("\nPERFORMANCE GATE FAILED:")

@@ -10,6 +10,9 @@ Installed as the ``repro-stencil`` console script::
     repro-stencil emit --stencil 13pt --model SYCL --layout brick
     repro-stencil tune --stencil 27pt --arch PVC --model SYCL
     repro-stencil obs
+    repro-stencil obs diff --telemetry-db telemetry.db
+    repro-stencil obs trend span.run_study.total_s --telemetry-db telemetry.db
+    repro-stencil obs profile --telemetry-db telemetry.db --flamegraph out.folded
     repro-stencil validate [--update-golden]
 
 Every subcommand accepts ``--trace FILE`` / ``--trace-format
@@ -17,6 +20,15 @@ Every subcommand accepts ``--trace FILE`` / ``--trace-format
 span tree is exported to ``FILE`` on exit (``chrome`` output loads in
 ``chrome://tracing`` / Perfetto).  ``obs`` runs the full sweep and
 prints the span tree plus the metrics table.
+
+Telemetry warehouse (see :mod:`repro.obs.store`): ``--telemetry-db
+PATH`` (default ``$REPRO_TELEMETRY_DB``) runs the subcommand under an
+enabled tracer and appends one run record — git revision, config hash,
+span tree, metric snapshot — to the SQLite warehouse at ``PATH``.  The
+read-side subcommands query it: ``obs diff`` judges the latest run
+against its rolling same-config baseline (exit 2 on regression), ``obs
+trend METRIC`` plots a measurement's history, and ``obs profile``
+ranks span self-time hotspots (``--flamegraph`` writes folded stacks).
 
 Sweeps and tuning searches accept ``--jobs N`` (worker processes;
 ``$REPRO_JOBS`` supplies a default, 0 means one per CPU) and the
@@ -36,12 +48,16 @@ with permanently failed points still renders (gaps + footnote) and
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
 import os
 import sys
+import time
 from typing import List, Optional
 
 from repro import harness, obs
 from repro.bricks.layout import BrickDims
+from repro.errors import ObservabilityError
 from repro.codegen import CodegenOptions, generate
 from repro.codegen.emitters import CPU_ISAS, MODELS, emit as emit_source
 from repro.dsl.shapes import by_name, catalog
@@ -234,6 +250,172 @@ def _obs(args) -> int:
     return 0
 
 
+# ---- telemetry warehouse (obs diff / trend / profile) ---------------------
+#
+# Exit-code contract for the read-side subcommands: 0 = success,
+# 1 = the warehouse cannot answer (missing database, unknown run or
+# metric), 2 = ``obs diff`` found a regression.  CI keys off the 0/2
+# distinction.
+
+#: argparse namespace entries that are observability plumbing, not
+#: workload configuration — excluded from the run's config hash so
+#: "same config" grouping ignores where the trace or warehouse lives.
+_NONCONFIG_ARGS = frozenset(
+    {"func", "obs_func", "command", "obs_command", "trace", "trace_format",
+     "telemetry_db"}
+)
+
+
+def _config_hash(args: argparse.Namespace) -> str:
+    """Stable hash of the workload-relevant CLI arguments.
+
+    The warehouse groups baseline runs by this hash, so two runs compare
+    only when every knob that could move the numbers (subcommand inputs,
+    job count, cache/retry/fault settings) is identical.
+    """
+    payload = {
+        k: v
+        for k, v in vars(args).items()
+        if k not in _NONCONFIG_ARGS and not callable(v)
+    }
+    text = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def _open_store(args) -> "obs.TelemetryStore | None":
+    """Open the warehouse read-side, or explain why not (returns None)."""
+    db_path = obs.resolve_db_path(args.telemetry_db)
+    if not db_path:
+        print(
+            "error: this subcommand reads a telemetry warehouse; pass "
+            "--telemetry-db PATH or set $REPRO_TELEMETRY_DB",
+            file=sys.stderr,
+        )
+        return None
+    try:
+        return obs.TelemetryStore(db_path, create=False)
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def _obs_diff(args) -> int:
+    store = _open_store(args)
+    if store is None:
+        return 1
+    try:
+        report = obs.diff_run(store, run_id=args.run, window=args.window)
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        store.close()
+    print(report.render())
+    return 0 if report.ok else 2
+
+
+def _obs_trend(args) -> int:
+    store = _open_store(args)
+    if store is None:
+        return 1
+    try:
+        history = store.measurement_history(
+            args.metric, entrypoint=args.entrypoint, limit=args.window
+        )
+        if not history:
+            latest = store.latest_run()
+            known = (
+                ", ".join(store.measurement_names(latest.run_id)[:12])
+                if latest else "(empty database)"
+            )
+            print(
+                f"error: no run carries metric '{args.metric}'; "
+                f"e.g.: {known}",
+                file=sys.stderr,
+            )
+            return 1
+    finally:
+        store.close()
+    print(f"trend: {args.metric} over {len(history)} run(s)")
+    for run, value in history:
+        dirty = "+dirty" if run.git_dirty else ""
+        print(
+            f"  run {run.run_id:>4}  {run.created_utc}  "
+            f"{run.git_rev[:10]}{dirty:<6}  {value:.6g}"
+        )
+    plottable = [(run.run_id, value) for run, value in history if value > 0]
+    if len(plottable) >= 2 and len({v for _, v in plottable}) >= 1:
+        plot = harness.AsciiPlot(
+            title=f"{args.metric} (y) vs run id (x)",
+            x_label="run id",
+            y_label=args.metric,
+        )
+        plot.add_series(args.metric, plottable)
+        print()
+        print(plot.render())
+    elif len(plottable) < len(history):
+        print("(non-positive values omitted from the log-scale plot)")
+    return 0
+
+
+def _obs_profile(args) -> int:
+    store = _open_store(args)
+    if store is None:
+        return 1
+    try:
+        if args.window:
+            run_ids = [r.run_id for r in store.runs(limit=args.window)]
+        elif args.run is not None:
+            run_ids = [store.run(args.run).run_id]
+        else:
+            latest = store.latest_run()
+            run_ids = [latest.run_id] if latest else []
+        if not run_ids:
+            print(
+                f"error: telemetry database {store.path} has no runs "
+                f"to profile",
+                file=sys.stderr,
+            )
+            return 1
+        report = obs.profile_runs(store, run_ids)
+        print(report.render(top=args.top))
+        if args.flamegraph:
+            roots = [
+                root for rid in run_ids for root in store.span_roots(rid)
+            ]
+            with open(args.flamegraph, "w") as f:
+                f.write(obs.folded_stacks(roots))
+            print(f"folded stacks written to {args.flamegraph}")
+    except (OSError, ObservabilityError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        store.close()
+    return 0
+
+
+def _record_telemetry(
+    args, db_path: str, tracer: obs.Tracer, duration_s: float
+) -> int:
+    """Append this invocation's run record to the warehouse."""
+    try:
+        with obs.TelemetryStore(db_path) as store:
+            run_id = store.record_run(
+                args.command,
+                tracer=tracer,
+                config_hash=_config_hash(args),
+                duration_s=duration_s,
+            )
+        print(f"telemetry: run {run_id} appended to {db_path}")
+        return 0
+    except (OSError, ObservabilityError) as exc:
+        print(
+            f"error: cannot record telemetry in {db_path}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-stencil",
@@ -287,6 +469,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(seeded; raises + corrupted payloads) into the sweep to "
         "exercise the retry machinery",
     )
+    common.add_argument(
+        "--telemetry-db", metavar="PATH", default=None,
+        help="append this run's telemetry (spans, counters, gate results) "
+        "to the SQLite warehouse at PATH (default: $REPRO_TELEMETRY_DB or "
+        "off); query it with 'obs diff/trend/profile'",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("study", help="run the full evaluation sweep",
@@ -339,6 +527,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_obs)
 
+    # Warehouse read-side subcommands nest under ``obs``.  Their handler
+    # goes in ``obs_func``, not ``func``: argparse's set_defaults on a
+    # nested parser cannot override an attribute the outer parser
+    # already placed on the namespace, so main() dispatches on
+    # ``obs_func or func``.
+    obs_sub = p.add_subparsers(dest="obs_command", required=False)
+
+    q = obs_sub.add_parser(
+        "diff",
+        help="judge a stored run against its rolling same-config "
+        "baseline (exit 2 on regression)",
+        parents=[common],
+    )
+    q.add_argument(
+        "--run", type=int, default=None, metavar="ID",
+        help="run id to judge (default: the latest run)",
+    )
+    q.add_argument(
+        "--window", type=int, default=obs.DEFAULT_WINDOW, metavar="N",
+        help=f"baseline window: earlier same-config runs to compare "
+        f"against (default {obs.DEFAULT_WINDOW})",
+    )
+    q.set_defaults(obs_func=_obs_diff)
+
+    q = obs_sub.add_parser(
+        "trend",
+        help="print + plot one measurement's history across stored runs",
+        parents=[common],
+    )
+    q.add_argument(
+        "metric",
+        help="measurement name, e.g. span.run_study.total_s, "
+        "run.duration_s, gate.sweep.speedup",
+    )
+    q.add_argument(
+        "--window", type=int, default=obs.DEFAULT_WINDOW, metavar="N",
+        help=f"how many most-recent runs to show (default "
+        f"{obs.DEFAULT_WINDOW})",
+    )
+    q.add_argument(
+        "--entrypoint", default=None,
+        help="restrict the history to runs of this subcommand "
+        "(default: any)",
+    )
+    q.set_defaults(obs_func=_obs_trend)
+
+    q = obs_sub.add_parser(
+        "profile",
+        help="rank span self-time hotspots from stored runs",
+        parents=[common],
+    )
+    q.add_argument(
+        "--run", type=int, default=None, metavar="ID",
+        help="profile this run id (default: the latest run)",
+    )
+    q.add_argument(
+        "--window", type=int, default=0, metavar="N",
+        help="aggregate the last N runs instead of a single run",
+    )
+    q.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="hotspot rows to print (default 20)",
+    )
+    q.add_argument(
+        "--flamegraph", metavar="FILE", default=None,
+        help="also write folded stacks (flamegraph.pl / speedscope "
+        "input) to FILE",
+    )
+    q.set_defaults(obs_func=_obs_profile)
+
     archs = sorted({a for a, _ in PROFILES})
     models = sorted({m for _, m in PROFILES})
 
@@ -375,13 +633,31 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    # ``--trace`` (any subcommand) and the ``obs`` report both need an
-    # enabled tracer; everything else runs with tracing off (no-op).
-    tracing = bool(args.trace) or args.command == "obs"
-    previous = obs.get_tracer()
-    tracer = obs.set_tracer(obs.Tracer(enabled=True)) if tracing else previous
+    func = getattr(args, "obs_func", None) or args.func
+    # The warehouse read-side subcommands (obs diff/trend/profile) only
+    # query the database — they never record themselves.
+    reading = (
+        args.command == "obs" and getattr(args, "obs_command", None) is not None
+    )
+    db_path = obs.resolve_db_path(args.telemetry_db)
+    record = bool(db_path) and not reading
+    # ``--trace`` (any subcommand), the ``obs`` report, and telemetry
+    # recording all need an enabled tracer; everything else runs with
+    # tracing off (no-op).
+    tracing = bool(args.trace) or (args.command == "obs" and not reading) or record
+    prev_tracer = obs.get_tracer()
+    prev_registry = obs.get_registry()
+    tracer = (
+        obs.set_tracer(obs.Tracer(enabled=True)) if tracing else prev_tracer
+    )
+    if record:
+        # A fresh registry per recorded run: counters must reflect this
+        # invocation only, not whatever accumulated in the process (the
+        # test suite calls main() many times in one interpreter).
+        obs.set_registry(obs.MetricsRegistry())
+    t_start = time.monotonic()
     try:
-        rc = args.func(args)
+        rc = func(args)
         if args.trace:
             try:
                 obs.write_trace(tracer.roots(), args.trace, args.trace_format)
@@ -390,10 +666,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                       file=sys.stderr)
                 return 1
             print(f"trace ({args.trace_format}) written to {args.trace}")
+        if record:
+            assert db_path is not None
+            rc_rec = _record_telemetry(
+                args, db_path, tracer, time.monotonic() - t_start
+            )
+            rc = rc or rc_rec
         return rc
     finally:
         if tracing:
-            obs.set_tracer(previous)
+            obs.set_tracer(prev_tracer)
+        if record:
+            obs.set_registry(prev_registry)
 
 
 if __name__ == "__main__":

@@ -207,34 +207,46 @@ def parallel_map(
     """
     items = list(items)
     jobs = resolve_jobs(jobs)
+    # The ``exec.parallel_map`` span wraps dispatch in *both* the serial
+    # and the parallel path, so serial and parallel traces keep the same
+    # shape (the PR-2 equivalence contract).  Task spans — run inline
+    # when serial, adopted from workers when parallel — nest inside it,
+    # which makes the span's *self*-time exactly the engine's dispatch
+    # overhead (chunking, pickling, pool scheduling, merge): the number
+    # the profiler compares against per-task cost when deciding whether
+    # the pool pays for itself.
     if jobs <= 1 or len(items) <= 1:
-        results: List[Any] = []
-        for i, item in enumerate(items):
-            result = _run_one(fn, item, policy, capture_failures)
-            results.append(result)
-            if on_result is not None:
-                on_result(i, result)
-        return results
+        with obs.span("exec.parallel_map", items=len(items), jobs=1):
+            results: List[Any] = []
+            for i, item in enumerate(items):
+                result = _run_one(fn, item, policy, capture_failures)
+                results.append(result)
+                if on_result is not None:
+                    on_result(i, result)
+            return results
     jobs = min(jobs, len(items))
     trace = obs.get_tracer().enabled
     bounds = _chunk_bounds(len(items), jobs * chunks_per_worker)
     results = []
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [
-            pool.submit(
-                _run_chunk, fn, items[start:end], trace, policy,
-                capture_failures,
-            )
-            for start, end in bounds
-        ]
-        # Merge strictly in submission (= input) order: chunk results
-        # concatenate back into the original sequence and worker spans
-        # adopt in a deterministic order.
-        for future in futures:
-            chunk_results, counters, span_dicts = future.result()
-            _merge_observations(counters, span_dicts)
-            if on_result is not None:
-                for offset, result in enumerate(chunk_results):
-                    on_result(len(results) + offset, result)
-            results.extend(chunk_results)
+    with obs.span(
+        "exec.parallel_map", items=len(items), jobs=jobs, chunks=len(bounds)
+    ):
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(
+                    _run_chunk, fn, items[start:end], trace, policy,
+                    capture_failures,
+                )
+                for start, end in bounds
+            ]
+            # Merge strictly in submission (= input) order: chunk results
+            # concatenate back into the original sequence and worker spans
+            # adopt in a deterministic order.
+            for future in futures:
+                chunk_results, counters, span_dicts = future.result()
+                _merge_observations(counters, span_dicts)
+                if on_result is not None:
+                    for offset, result in enumerate(chunk_results):
+                        on_result(len(results) + offset, result)
+                results.extend(chunk_results)
     return results

@@ -29,6 +29,32 @@ from repro.obs.export import (
     write_trace,
 )
 from repro.obs.instrument import stage, traced
+from repro.obs.profile import (
+    HotSpot,
+    ProfileReport,
+    folded_stacks,
+    profile_runs,
+    profile_spans,
+    render_hotspots,
+    span_self_time,
+)
+from repro.obs.regress import (
+    DEFAULT_SPECS,
+    DEFAULT_WINDOW,
+    DiffEntry,
+    DiffReport,
+    MetricSpec,
+    diff_run,
+)
+from repro.obs.store import (
+    STORE_SCHEMA_VERSION,
+    TELEMETRY_DB_ENV,
+    GateResult,
+    RunRecord,
+    TelemetryStore,
+    git_state,
+    resolve_db_path,
+)
 from repro.obs.metrics import (
     TIME_BUCKETS_S,
     Counter,
@@ -53,26 +79,46 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "DEFAULT_SPECS",
+    "DEFAULT_WINDOW",
+    "STORE_SCHEMA_VERSION",
+    "TELEMETRY_DB_ENV",
     "TRACE_FORMATS",
     "TIME_BUCKETS_S",
     "NOOP_SPAN",
     "Counter",
+    "DiffEntry",
+    "DiffReport",
     "Gauge",
+    "GateResult",
     "Histogram",
+    "HotSpot",
+    "MetricSpec",
     "MetricsRegistry",
+    "ProfileReport",
+    "RunRecord",
     "Span",
+    "TelemetryStore",
     "Tracer",
     "counter",
+    "diff_run",
     "disable_tracing",
     "enable_tracing",
+    "folded_stacks",
     "gauge",
     "get_registry",
     "get_tracer",
+    "git_state",
     "histogram",
+    "profile_runs",
+    "profile_spans",
+    "render_hotspots",
     "render_tree",
+    "resolve_db_path",
     "set_registry",
     "set_tracer",
     "span",
+    "span_self_time",
     "span_to_dict",
     "spans_from_dicts",
     "stage",

@@ -43,6 +43,7 @@ def span_to_dict(span: Span) -> Dict[str, Any]:
         "id": span.span_id,
         "parent_id": span.parent_id,
         "thread": span.thread_id,
+        "pid": span.pid,
         "t_start": span.t_start,
         "t_end": span.t_end,
         "dur_ms": round(span.duration_ms, 6),
@@ -76,6 +77,7 @@ def spans_from_dicts(records: Iterable[Dict[str, Any]]) -> List[Span]:
             thread_id=rec.get("thread", 0),
             t_start=rec["t_start"],
             t_end=rec["t_end"],
+            pid=rec.get("pid", 0),
         )
         spans[span_id] = s
         ordered.append(s)
@@ -101,6 +103,10 @@ def to_jsonl(roots: Iterable[Span]) -> str:
 
 def _chrome_event(span: Span) -> Dict[str, Any]:
     # "X" (complete) events carry start + duration in microseconds.
+    # ``pid``/``tid`` come from the process/thread that recorded the
+    # span: spans adopted from worker processes (``Tracer.adopt``) keep
+    # their worker pid, so a parallel sweep renders as one track per
+    # worker in chrome://tracing instead of one interleaved thread.
     args = {k: str(v) for k, v in span.attrs.items()}
     args["span_id"] = str(span.span_id)
     return {
@@ -108,7 +114,7 @@ def _chrome_event(span: Span) -> Dict[str, Any]:
         "ph": "X",
         "ts": round(span.t_start * 1e6, 3),
         "dur": round(span.duration_s * 1e6, 3),
-        "pid": 1,
+        "pid": span.pid or 1,
         "tid": span.thread_id,
         "cat": "repro",
         "args": args,

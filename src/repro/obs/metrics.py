@@ -136,6 +136,46 @@ class Histogram:
         edges: List[Optional[float]] = list(self.bounds) + [None]
         return list(zip(edges, self._counts))
 
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile by linear interpolation within buckets.
+
+        The estimate assumes observations are uniformly distributed
+        inside each bucket (the standard Prometheus ``histogram_quantile``
+        approximation).  The first bucket interpolates from 0; a target
+        landing in the overflow bucket clamps to the last finite bound
+        (there is no upper edge to interpolate towards).  An empty
+        histogram reports 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(
+                f"quantile must be in [0, 1], got {q} for '{self.name}'"
+            )
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+        if total == 0:
+            return 0.0
+        target = q * total
+        cumulative = 0.0
+        lower = 0.0
+        for bound, cnt in zip(self.bounds, counts):
+            if cnt and cumulative + cnt >= target:
+                frac = (target - cumulative) / cnt
+                return lower + frac * (bound - lower)
+            cumulative += cnt
+            lower = bound
+        return self.bounds[-1]  # overflow bucket: clamp to the last edge
+
+    def summary(self) -> Dict[str, float]:
+        """count/sum/mean plus interpolated p50/p95 (the report shape)."""
+        return {
+            "count": float(self._count),
+            "sum": self._sum,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+        }
+
 
 class MetricsRegistry:
     """Flat, named, get-or-create collection of instruments."""
@@ -192,6 +232,8 @@ class MetricsRegistry:
                     "count": m.count,
                     "sum": m.sum,
                     "mean": m.mean,
+                    "p50": m.quantile(0.50),
+                    "p95": m.quantile(0.95),
                     "buckets": [
                         [b, c] for b, c in m.bucket_counts() if c
                     ],
@@ -209,9 +251,11 @@ class MetricsRegistry:
                 rows.append((name, "gauge", f"{m.value:g}"))
             else:
                 assert isinstance(m, Histogram)
+                s = m.summary()
                 rows.append(
                     (name, "histogram",
-                     f"count={m.count} sum={m.sum:.6g} mean={m.mean:.6g}")
+                     f"count={m.count} sum={m.sum:.6g} mean={m.mean:.6g} "
+                     f"p50={s['p50']:.6g} p95={s['p95']:.6g}")
                 )
         if not rows:
             return "metrics: (none recorded)"

@@ -23,6 +23,7 @@ tests.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -51,6 +52,12 @@ class Span:
     t_start: float  # monotonic seconds
     t_end: Optional[float] = None
     children: List["Span"] = field(default_factory=list)
+    #: Process that recorded the span.  Spans shipped back from worker
+    #: processes keep their origin pid through serialisation and
+    #: :meth:`Tracer.adopt`, so exporters can attribute parallel work to
+    #: the worker that did it instead of flattening everything onto the
+    #: parent process.
+    pid: int = field(default_factory=os.getpid)
 
     @property
     def finished(self) -> bool:

@@ -1,0 +1,154 @@
+"""Tests for the CLI telemetry surface: --telemetry-db recording and the
+obs diff / obs trend / obs profile subcommands (exit-code contract:
+0 = ok, 1 = cannot evaluate, 2 = regression)."""
+
+import pytest
+
+from repro import cli, obs
+
+
+def run_cli(capsys, *argv):
+    rc = cli.main(list(argv))
+    captured = capsys.readouterr()
+    return rc, captured.out, captured.err
+
+
+@pytest.fixture
+def db(tmp_path, capsys):
+    """A warehouse holding two identical recorded simulate runs."""
+    path = str(tmp_path / "telemetry.db")
+    for _ in range(2):
+        rc, out, _ = run_cli(
+            capsys, "simulate", "--stencil", "13pt", "--arch", "A100",
+            "--model", "CUDA", "--telemetry-db", path,
+        )
+        assert rc == 0
+        assert "telemetry: run" in out
+    return path
+
+
+class TestRecording:
+    def test_runs_are_queryable(self, db):
+        with obs.TelemetryStore(db, create=False) as store:
+            runs = store.runs()
+            assert len(runs) == 2
+            # Same CLI args -> same config hash -> comparable baseline.
+            assert runs[0].config_hash == runs[1].config_hash
+            assert runs[0].entrypoint == "simulate"
+            m = store.measurements(runs[1].run_id)
+        assert m["span.simulate.total_s"] > 0
+        # The fresh-registry swap: each in-process invocation records
+        # its own counters, not the accumulated process totals.
+        assert m["counter.simulate.calls"] == 1.0
+
+    def test_env_var_enables_recording(self, tmp_path, capsys, monkeypatch):
+        path = str(tmp_path / "env.db")
+        monkeypatch.setenv(obs.TELEMETRY_DB_ENV, path)
+        rc, out, _ = run_cli(
+            capsys, "simulate", "--stencil", "7pt", "--arch", "A100",
+            "--model", "CUDA",
+        )
+        assert rc == 0 and "telemetry: run 1" in out
+        with obs.TelemetryStore(path, create=False) as store:
+            assert store.latest_run() is not None
+
+    def test_no_db_means_no_recording(self, capsys, monkeypatch):
+        monkeypatch.delenv(obs.TELEMETRY_DB_ENV, raising=False)
+        rc, out, _ = run_cli(
+            capsys, "simulate", "--stencil", "7pt", "--arch", "A100",
+            "--model", "CUDA",
+        )
+        assert rc == 0 and "telemetry" not in out
+
+
+class TestDiff:
+    def test_missing_database_exits_1(self, tmp_path, capsys):
+        rc, _, err = run_cli(
+            capsys, "obs", "diff", "--telemetry-db",
+            str(tmp_path / "nope.db"),
+        )
+        assert rc == 1 and "no telemetry database" in err
+
+    def test_no_database_configured_exits_1(self, capsys, monkeypatch):
+        monkeypatch.delenv(obs.TELEMETRY_DB_ENV, raising=False)
+        rc, _, err = run_cli(capsys, "obs", "diff")
+        assert rc == 1 and "--telemetry-db" in err
+
+    def test_unchanged_run_passes(self, db, capsys):
+        rc, out, _ = run_cli(capsys, "obs", "diff", "--telemetry-db", db)
+        assert rc == 0
+        assert "verdict: OK" in out
+
+    def test_inflated_span_duration_exits_2(self, db, capsys):
+        # Append a third run whose simulate span is artificially 100x
+        # slower, same identity as the real ones: the acceptance check.
+        with obs.TelemetryStore(db, create=False) as store:
+            last = store.latest_run()
+            real = store.span_roots(last.run_id)[0]
+            slow = obs.Span(
+                name="simulate", attrs={}, span_id=1, parent_id=None,
+                thread_id=1, t_start=0.0,
+                t_end=max(100.0 * real.duration_s, 1.0),
+            )
+            store.record_run(
+                last.entrypoint, roots=[slow],
+                registry=obs.MetricsRegistry(),
+                config_hash=last.config_hash,
+                duration_s=last.duration_s,
+                git_rev=last.git_rev, git_dirty=last.git_dirty,
+            )
+        rc, out, _ = run_cli(capsys, "obs", "diff", "--telemetry-db", db)
+        assert rc == 2
+        assert "verdict: REGRESSION" in out
+        assert "span.simulate.total_s" in out
+
+
+class TestTrend:
+    def test_known_metric_prints_history(self, db, capsys):
+        rc, out, _ = run_cli(
+            capsys, "obs", "trend", "span.simulate.total_s",
+            "--telemetry-db", db,
+        )
+        assert rc == 0
+        assert "over 2 run(s)" in out
+        assert "run    1" in out and "run    2" in out
+
+    def test_unknown_metric_exits_1(self, db, capsys):
+        rc, _, err = run_cli(
+            capsys, "obs", "trend", "span.flux.capacitor_s",
+            "--telemetry-db", db,
+        )
+        assert rc == 1
+        assert "no run carries metric" in err
+        # The error suggests real metric names to try instead.
+        assert "e.g.: counter." in err
+
+
+class TestProfile:
+    def test_latest_run_hotspots(self, db, capsys):
+        rc, out, _ = run_cli(capsys, "obs", "profile", "--telemetry-db", db)
+        assert rc == 0
+        assert "self-time by span name" in out
+        assert "simulate" in out
+
+    def test_flamegraph_output(self, db, tmp_path, capsys):
+        folded = str(tmp_path / "out.folded")
+        rc, out, _ = run_cli(
+            capsys, "obs", "profile", "--telemetry-db", db,
+            "--window", "2", "--flamegraph", folded,
+        )
+        assert rc == 0
+        lines = open(folded).read().strip().split("\n")
+        assert lines
+        for line in lines:
+            path, weight = line.rsplit(" ", 1)
+            assert path.startswith("simulate")
+            assert int(weight) > 0
+
+    def test_empty_database_exits_1(self, tmp_path, capsys):
+        path = str(tmp_path / "empty.db")
+        obs.TelemetryStore(path).close()  # schema only, no runs
+        rc, _, err = run_cli(
+            capsys, "obs", "profile", "--telemetry-db", path,
+        )
+        assert rc == 1 and "no runs" in err

@@ -73,6 +73,30 @@ class TestChrome:
         names = sorted(e["name"] for e in doc["traceEvents"])
         assert names == ["point", "point", "report", "sweep"]
 
+    def test_worker_spans_get_their_own_pid_track(self):
+        # Spans adopted from worker processes keep their origin pid, so
+        # chrome://tracing renders one track per worker instead of
+        # flattening the parallel sweep onto a single row.
+        records = [
+            {"name": "parent", "id": 1, "parent_id": None, "thread": 1,
+             "pid": 1000, "t_start": 0.0, "t_end": 1.0, "attrs": {}},
+            {"name": "worker_chunk", "id": 2, "parent_id": 1, "thread": 1,
+             "pid": 2000, "t_start": 0.1, "t_end": 0.9, "attrs": {}},
+        ]
+        roots = obs.spans_from_dicts(records)
+        events = json.loads(obs.to_chrome(roots))["traceEvents"]
+        pids = {e["name"]: e["pid"] for e in events}
+        assert pids == {"parent": 1000, "worker_chunk": 2000}
+
+    def test_pid_roundtrips_through_dicts(self):
+        tracer = sample_tracer()
+        rec = obs.span_to_dict(tracer.roots()[0])
+        assert rec["pid"] > 0
+        (rebuilt,) = obs.spans_from_dicts(
+            [obs.span_to_dict(s) for s in tracer.roots()[0].walk()]
+        )
+        assert rebuilt.pid == rec["pid"]
+
 
 class TestTree:
     def test_deterministic(self):

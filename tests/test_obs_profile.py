@@ -1,0 +1,134 @@
+"""Tests for the span profiler (repro.obs.profile)."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ObservabilityError
+
+
+def make_span(name, t_start, t_end, children=(), span_id=0, parent=None):
+    return obs.Span(
+        name=name,
+        attrs={},
+        span_id=span_id,
+        parent_id=parent,
+        thread_id=1,
+        t_start=t_start,
+        t_end=t_end,
+        children=list(children),
+    )
+
+
+def sample_tree():
+    """root [0,10] > a [1,4], b [5,9] > leaf [6,8].
+
+    Self times: root 10-3-4=3, a 3, b 4-2=2, leaf 2.
+    """
+    leaf = make_span("leaf", 6.0, 8.0, span_id=4, parent=3)
+    a = make_span("a", 1.0, 4.0, span_id=2, parent=1)
+    b = make_span("b", 5.0, 9.0, children=[leaf], span_id=3, parent=1)
+    return make_span("root", 0.0, 10.0, children=[a, b], span_id=1)
+
+
+class TestSelfTime:
+    def test_hand_built_tree(self):
+        root = sample_tree()
+        assert obs.span_self_time(root) == pytest.approx(3.0)
+        a, b = root.children
+        assert obs.span_self_time(a) == pytest.approx(3.0)
+        assert obs.span_self_time(b) == pytest.approx(2.0)
+        assert obs.span_self_time(b.children[0]) == pytest.approx(2.0)
+
+    def test_clamped_at_zero(self):
+        # Worker-clock skew can make children nominally overrun the
+        # parent; self time must clamp instead of going negative.
+        child = make_span("child", 0.0, 5.0, span_id=2, parent=1)
+        parent = make_span("parent", 0.0, 3.0, children=[child], span_id=1)
+        assert obs.span_self_time(parent) == 0.0
+
+
+class TestProfileSpans:
+    def test_aggregates_by_name_sorted_by_self(self):
+        report = obs.profile_spans([sample_tree()])
+        assert [h.name for h in report.hotspots] == ["a", "root", "b", "leaf"]
+        root = report.get("root")
+        assert root.count == 1
+        assert root.total_s == pytest.approx(10.0)
+        assert root.self_s == pytest.approx(3.0)
+        # Self times partition the traced wall time exactly.
+        assert report.total_self_s == pytest.approx(10.0)
+
+    def test_same_name_spans_merge(self):
+        t1 = make_span("work", 0.0, 2.0, span_id=1)
+        t2 = make_span("work", 0.0, 3.0, span_id=2)
+        report = obs.profile_spans([t1, t2])
+        (hot,) = report.hotspots
+        assert hot.count == 2
+        assert hot.self_s == pytest.approx(5.0)
+        assert hot.self_per_call_s == pytest.approx(2.5)
+
+    def test_get_unknown_name_raises(self):
+        with pytest.raises(ObservabilityError, match="no span named"):
+            obs.profile_spans([sample_tree()]).get("nope")
+
+    def test_render(self):
+        text = obs.profile_spans([sample_tree()]).render()
+        assert "self-time by span name" in text
+        assert "root" in text and "leaf" in text
+        top = obs.profile_spans([sample_tree()]).render(top=2)
+        assert "leaf" not in top
+        assert "2 more span name(s)" in top
+
+    def test_render_empty(self):
+        assert "no spans" in obs.profile_spans([]).render()
+
+
+class TestProfileRuns:
+    def test_aggregates_across_stored_runs(self, tmp_path):
+        with obs.TelemetryStore(str(tmp_path / "t.db")) as store:
+            ids = [
+                store.record_run(
+                    "study", roots=[sample_tree()],
+                    registry=obs.MetricsRegistry(), config_hash="c",
+                    git_rev="r", git_dirty=False,
+                )
+                for _ in range(2)
+            ]
+            report = obs.profile_runs(store, ids)
+        assert report.runs == 2
+        assert report.get("root").count == 2
+        assert report.get("leaf").self_s == pytest.approx(4.0)
+        assert "over 2 runs" in report.render()
+
+    def test_no_runs_rejected(self, tmp_path):
+        with obs.TelemetryStore(str(tmp_path / "t.db")) as store:
+            with pytest.raises(ObservabilityError, match="no runs"):
+                obs.profile_runs(store, [])
+
+
+class TestFoldedStacks:
+    def test_paths_and_weights(self):
+        text = obs.folded_stacks([sample_tree()])
+        lines = dict(
+            line.rsplit(" ", 1) for line in text.strip().split("\n")
+        )
+        assert lines == {
+            "root": str(3_000_000),
+            "root;a": str(3_000_000),
+            "root;b": str(2_000_000),
+            "root;b;leaf": str(2_000_000),
+        }
+
+    def test_zero_weight_paths_dropped(self):
+        instant = make_span("instant", 1.0, 1.0, span_id=2, parent=1)
+        root = make_span("root", 0.0, 1.0, children=[instant], span_id=1)
+        text = obs.folded_stacks([root])
+        assert "instant" not in text
+        assert text == "root 1000000\n"
+
+    def test_same_path_aggregates(self):
+        roots = [make_span("r", 0.0, 1.0, span_id=i) for i in (1, 2)]
+        assert obs.folded_stacks(roots) == "r 2000000\n"
+
+    def test_empty(self):
+        assert obs.folded_stacks([]) == ""

@@ -208,6 +208,47 @@ class TestMetrics:
         assert buckets[10.0] == 1
         assert buckets[None] == 1  # overflow
 
+    def test_histogram_quantiles_interpolate_within_bucket(self):
+        reg = obs.MetricsRegistry()
+        h = reg.histogram("t", bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.6, 3.0):
+            h.observe(v)
+        # p50 = 2 of 4 observations: the (1,2] bucket holds ranks 2-3,
+        # linear interpolation lands halfway through it.
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        assert h.quantile(0.0) == pytest.approx(0.0)
+        assert h.quantile(1.0) == pytest.approx(4.0)
+
+    def test_histogram_quantile_overflow_clamps_to_last_edge(self):
+        reg = obs.MetricsRegistry()
+        h = reg.histogram("t", bounds=(1.0, 2.0))
+        h.observe(100.0)
+        # The overflow bucket has no upper edge; the quantile clamps to
+        # the last finite bound rather than inventing a value.
+        assert h.quantile(0.99) == pytest.approx(2.0)
+
+    def test_histogram_quantile_validation(self):
+        reg = obs.MetricsRegistry()
+        h = reg.histogram("t", bounds=(1.0,))
+        assert h.quantile(0.5) == 0.0  # empty histogram
+        with pytest.raises(ObservabilityError):
+            h.quantile(1.5)
+
+    def test_histogram_summary_and_snapshot_percentiles(self):
+        reg = obs.MetricsRegistry()
+        h = reg.histogram("t", bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.6, 3.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["sum"] == pytest.approx(6.6)
+        assert s["mean"] == pytest.approx(1.65)
+        assert s["p50"] == pytest.approx(h.quantile(0.5))
+        assert s["p95"] == pytest.approx(h.quantile(0.95))
+        snap = reg.snapshot()
+        assert snap["t"]["p50"] == pytest.approx(h.quantile(0.5))
+        assert "p50=" in reg.render_table()
+
     def test_histogram_rejects_bad_bounds(self):
         reg = obs.MetricsRegistry()
         with pytest.raises(ObservabilityError):
