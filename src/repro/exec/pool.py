@@ -27,6 +27,7 @@ The execution engine behind ``run_study(..., parallel=N)`` and
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
@@ -171,6 +172,23 @@ def _merge_observations(
             tracer.adopt(root)
 
 
+def _run_serial(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    policy: Optional[RetryPolicy],
+    capture: bool,
+    on_result: Optional[Callable[[int, Any], None]],
+    results: List[Any],
+    start: int = 0,
+) -> None:
+    """Run ``items[start:]`` in-process, appending to ``results``."""
+    for i in range(start, len(items)):
+        result = _run_one(fn, items[i], policy, capture)
+        results.append(result)
+        if on_result is not None:
+            on_result(i, result)
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -179,6 +197,7 @@ def parallel_map(
     policy: Optional[RetryPolicy] = None,
     capture_failures: bool = False,
     on_result: Optional[Callable[[int, Any], None]] = None,
+    auto_fallback: bool = True,
 ) -> List[Any]:
     """Map ``fn`` over ``items``, optionally across worker processes.
 
@@ -201,12 +220,39 @@ def parallel_map(
       strict input order as results arrive (per item when serial, per
       merged chunk when parallel) — the checkpoint hook.
 
+    Break-even fallback (``auto_fallback``, on by default; see
+    :mod:`repro.exec.dispatch`): a ``jobs > 1`` request only actually
+    pays the pool's startup cost when the measured per-item cost says
+    the pool will win.  With a recorded cost estimate below the
+    break-even size the whole map runs serially (counted as
+    ``exec.dispatch.serial_fallback``); with no estimate yet the first
+    few items run serially as a probe and the live measurement decides.
+    Serial runs (including probes) feed the cost model.  Results are
+    identical either way — only the execution venue changes.  Pass
+    ``auto_fallback=False`` to force the pool exactly as requested
+    (benchmarks, pool-behaviour tests).
+
     Without those options, exceptions raised by ``fn`` propagate
     unchanged; observations from chunks that completed before the
     failure are still merged.
     """
+    # Local import: dispatch imports resolve_jobs from this module.
+    from repro.exec import dispatch as _dispatch
+
     items = list(items)
     jobs = resolve_jobs(jobs)
+    fallback = None
+    probe = 0
+    if jobs > 1 and len(items) > 1 and auto_fallback:
+        estimate = _dispatch.observed_cost(fn)
+        if estimate is None:
+            probe = min(_dispatch.PROBE_ITEMS, len(items))
+        else:
+            break_even = _dispatch.break_even_points(estimate, jobs)
+            if break_even != float("inf"):
+                obs.gauge("exec.dispatch.break_even_n").set(break_even)
+            if len(items) < break_even:
+                fallback = "break_even"
     # The ``exec.parallel_map`` span wraps dispatch in *both* the serial
     # and the parallel path, so serial and parallel traces keep the same
     # shape (the PR-2 equivalence contract).  Task spans — run inline
@@ -215,26 +261,60 @@ def parallel_map(
     # overhead (chunking, pickling, pool scheduling, merge): the number
     # the profiler compares against per-task cost when deciding whether
     # the pool pays for itself.
-    if jobs <= 1 or len(items) <= 1:
-        with obs.span("exec.parallel_map", items=len(items), jobs=1):
+    if jobs <= 1 or len(items) <= 1 or fallback:
+        with obs.span("exec.parallel_map", items=len(items), jobs=1) as sp:
+            if fallback:
+                obs.counter("exec.dispatch.serial_fallback").inc()
+                if sp is not None:
+                    sp.set_attr("fallback", fallback)
             results: List[Any] = []
-            for i, item in enumerate(items):
-                result = _run_one(fn, item, policy, capture_failures)
-                results.append(result)
-                if on_result is not None:
-                    on_result(i, result)
+            t0 = time.perf_counter()
+            _run_serial(
+                fn, items, policy, capture_failures, on_result, results
+            )
+            if auto_fallback and items:
+                _dispatch.record_cost(
+                    fn, (time.perf_counter() - t0) / len(items)
+                )
             return results
     jobs = min(jobs, len(items))
     trace = obs.get_tracer().enabled
-    bounds = _chunk_bounds(len(items), jobs * chunks_per_worker)
     results = []
-    with obs.span(
-        "exec.parallel_map", items=len(items), jobs=jobs, chunks=len(bounds)
-    ):
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
+    with obs.span("exec.parallel_map", items=len(items), jobs=jobs) as sp:
+        if probe:
+            # No cost estimate yet: run the first items in-process, then
+            # let the live measurement pick the venue for the rest.
+            t0 = time.perf_counter()
+            _run_serial(
+                fn, items[:probe], policy, capture_failures, on_result,
+                results,
+            )
+            per_item = (time.perf_counter() - t0) / probe
+            _dispatch.record_cost(fn, per_item)
+            break_even = _dispatch.break_even_points(per_item, jobs)
+            if break_even != float("inf"):
+                obs.gauge("exec.dispatch.break_even_n").set(break_even)
+            if sp is not None:
+                sp.set_attr("probed", probe)
+            if len(items) - probe < break_even:
+                obs.counter("exec.dispatch.serial_fallback").inc()
+                if sp is not None:
+                    sp.set_attr("fallback", "probe")
+                    sp.set_attr("jobs", 1)
+                _run_serial(
+                    fn, items, policy, capture_failures, on_result,
+                    results, start=probe,
+                )
+                return results
+        remaining = items[probe:]
+        pool_jobs = min(jobs, len(remaining))
+        bounds = _chunk_bounds(len(remaining), pool_jobs * chunks_per_worker)
+        if sp is not None:
+            sp.set_attr("chunks", len(bounds))
+        with ProcessPoolExecutor(max_workers=pool_jobs) as pool:
             futures = [
                 pool.submit(
-                    _run_chunk, fn, items[start:end], trace, policy,
+                    _run_chunk, fn, remaining[start:end], trace, policy,
                     capture_failures,
                 )
                 for start, end in bounds

@@ -10,6 +10,7 @@ The substitution for the paper's Perlmutter/Crusher/Florentia testbeds::
 """
 
 from repro.gpu.arch import ARCHITECTURES, A100, MI250X, PVC, GPUArchitecture, architecture
+from repro.gpu.batch import DEFAULT_CHUNK, BatchPoint, simulate_batch
 from repro.gpu.cache import CacheSim, CacheStats, dense_row_lines
 from repro.gpu.coalesce import (
     LINE_BYTES,
@@ -38,8 +39,10 @@ from repro.gpu.traffic import Traffic, estimate_traffic, layer_condition_extra
 __all__ = [
     "A100",
     "ARCHITECTURES",
+    "BatchPoint",
     "CacheSim",
     "CacheStats",
+    "DEFAULT_CHUNK",
     "GPUArchitecture",
     "LINE_BYTES",
     "MI250X",
@@ -66,6 +69,7 @@ __all__ = [
     "platform",
     "scalarized_sectors",
     "simulate",
+    "simulate_batch",
     "spans",
     "strided_sectors",
     "study_platforms",

@@ -84,6 +84,25 @@ def layer_condition_extra(
     return miss_fraction * (shared_planes / tile_k) * n * FP64_BYTES
 
 
+def sector_footprint(
+    vp: VariantProfile, radius: int, vl: int, sector: int
+) -> Tuple[int, int, int, int]:
+    """Sectors touched per (aligned load, unaligned load, halo load, store).
+
+    The coalescing kernel of the L1 model, shared by the scalar path and
+    the batch engine so the two can never drift: scalarized variants pay
+    one sector per lane per access; coalesced variants pay the ceil of
+    the vector (or halo) footprint in sectors, plus one boundary-crossing
+    extra sector on unaligned loads.
+    """
+    if vp.scalarized:
+        # The compiler broke coalescing: one sector per lane per access.
+        return vl, vl, radius, vl
+    per_aligned = ceil_div(vl * FP64_BYTES, sector)
+    per_halo = ceil_div(radius * FP64_BYTES, sector)
+    return per_aligned, per_aligned + 1, per_halo, per_aligned
+
+
 def estimate_traffic(
     stencil: Stencil,
     layout: str,
@@ -146,17 +165,9 @@ def _estimate(
     # ---- L1 -------------------------------------------------------------
     vl = cost.vl
     sector = arch.sector_bytes
-    if vp.scalarized:
-        # The compiler broke coalescing: one sector per lane per access.
-        per_aligned = vl
-        per_unaligned = vl
-        per_halo = stencil.radius
-        per_store = vl
-    else:
-        per_aligned = ceil_div(vl * FP64_BYTES, sector)
-        per_unaligned = per_aligned + 1  # boundary-crossing extra sector
-        per_halo = ceil_div(r * FP64_BYTES, sector)
-        per_store = per_aligned
+    per_aligned, per_unaligned, per_halo, per_store = sector_footprint(
+        vp, r, vl, sector
+    )
     load_sectors = ntiles * (
         cost.loads_aligned * per_aligned
         + cost.loads_unaligned * per_unaligned

@@ -26,8 +26,9 @@ from repro.errors import MetricError
 from repro.exec import (
     RetryPolicy,
     TaskFailure,
+    choose_dispatch,
+    map_study_points,
     parallel_map,
-    resolve_jobs,
     simulate_point,
     study_item_key,
     validate_simulation,
@@ -183,14 +184,24 @@ def run_study(
     cache_dir: Optional[str] = None,
     resume: bool = False,
     checkpoint_every: int = CHECKPOINT_EVERY,
+    dispatch: Optional[str] = None,
 ) -> StudyResults:
     """Simulate the full matrix; deterministic, a few seconds of work.
 
     ``parallel`` is the worker-process count for the sweep (``None``
     consults ``$REPRO_JOBS``; ``<= 1`` runs serially in-process; ``0``
-    means one worker per CPU).  Results, counters, and the span tree
-    are identical either way: workers trace into their own tracer and
-    the engine re-aggregates everything deterministically.
+    means one worker per CPU).  Results and counters are identical at
+    any job count and in any dispatch mode; see below for the trace.
+
+    ``dispatch`` pins the execution engine (``"serial"`` |
+    ``"vectorized"`` | ``"pool"``); ``None`` lets
+    :func:`repro.exec.choose_dispatch` pick — small single-job sweeps
+    stay serial (keeping the per-point span tree), anything larger or
+    parallel goes through the batch-vectorized engine
+    (:func:`repro.gpu.simulate_batch`), which is bit-identical to the
+    scalar path and orders of magnitude faster per point.  Pool runs
+    trace per-point spans adopted from workers; vectorized runs trace a
+    ``sweep.batch`` span with per-chunk children instead.
 
     Fault tolerance:
 
@@ -242,12 +253,8 @@ def run_study(
 
     pending = [it for it in items if study_item_key(it) not in done]
     pending_keys = [study_item_key(it) for it in pending]
-    fn = (
-        simulate_point
-        if fault_plan is None
-        else fault_plan.wrap(simulate_point, key_fn=study_item_key)
-    )
     policy = (policy or RetryPolicy()).with_validate(validate_simulation)
+    decision = choose_dispatch(len(pending), parallel, forced=dispatch)
 
     on_result = None
     if cache_dir:
@@ -265,19 +272,38 @@ def run_study(
                 )
                 flush_state["fresh"] = 0
 
-    jobs = resolve_jobs(parallel)
     with span(
-        "run_study", points=len(items), jobs=jobs, resumed=len(done)
+        "run_study",
+        points=len(items),
+        jobs=decision.jobs,
+        resumed=len(done),
+        dispatch=decision.mode,
     ) as sp:
         study.results.update(done)
-        outcomes = parallel_map(
-            fn,
-            pending,
-            jobs=jobs,
-            policy=policy,
-            capture_failures=True,
-            on_result=on_result,
-        )
+        if decision.mode == "vectorized":
+            outcomes = map_study_points(
+                pending,
+                policy=policy,
+                fault_plan=fault_plan,
+                on_result=on_result,
+            )
+        else:
+            fn = (
+                simulate_point
+                if fault_plan is None
+                else fault_plan.wrap(simulate_point, key_fn=study_item_key)
+            )
+            outcomes = parallel_map(
+                fn,
+                pending,
+                jobs=1 if decision.mode == "serial" else decision.jobs,
+                policy=policy,
+                capture_failures=True,
+                on_result=on_result,
+                # A forced pool must actually pool (benchmarks pin it);
+                # an auto choice keeps the engine's break-even fallback.
+                auto_fallback=dispatch != "pool",
+            )
         for key, outcome in zip(pending_keys, outcomes):
             if isinstance(outcome, TaskFailure):
                 study.failed[key] = FailedPoint(
@@ -328,6 +354,7 @@ def cached_study(
     retry_policy: Optional[RetryPolicy] = None,
     fault_plan: Optional[FaultPlan] = None,
     resume: bool = False,
+    dispatch: Optional[str] = None,
 ) -> StudyResults:
     """Memoised :func:`run_study`: one sweep per config per process.
 
@@ -383,6 +410,7 @@ def cached_study(
                     fault_plan=fault_plan,
                     cache_dir=cache_dir,
                     resume=resume,
+                    dispatch=dispatch,
                 )
                 if cache_dir and study.complete:
                     serialization.save_study_cache(study, cache_dir)

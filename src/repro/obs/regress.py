@@ -108,6 +108,12 @@ DEFAULT_SPECS: Tuple[MetricSpec, ...] = (
     MetricSpec("gate.sweep.speedup", "higher", 0.5, floor=0.15),
     MetricSpec("gate.sweep.parallel_points_per_s", "higher", 0.5, floor=5.0),
     MetricSpec("gate.cachesim.speedup", "higher", 0.5, floor=1.0),
+    # Batch engine: vectorized throughput must stay >= 100x serial at
+    # the 100k-point scale, and auto-dispatch must never lose to serial.
+    MetricSpec("gate.batch.speedup_vs_serial", "higher", 0.5, floor=100.0),
+    MetricSpec("gate.batch.points_per_s_100k", "higher", 0.5, floor=1000.0),
+    MetricSpec("gate.batch.points_per_s_90", "higher", 0.5, floor=50.0),
+    MetricSpec("gate.batch.auto_speedup", "higher", 0.5, floor=1.0),
 )
 
 

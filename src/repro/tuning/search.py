@@ -14,11 +14,24 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.dsl.stencil import Stencil
 from repro.errors import SimulationError
-from repro.exec import RetryPolicy, TaskFailure, evaluate_candidate, parallel_map
+from repro.exec import (
+    RetryPolicy,
+    TaskFailure,
+    evaluate_candidate,
+    parallel_map,
+    resolve_jobs,
+)
+from repro.gpu.batch import BatchPoint, simulate_batch
 from repro.gpu.progmodel import Platform
 from repro.gpu.simulator import SimulationResult
 from repro.obs import counter, span
 from repro.tuning.space import TuningPoint, TuningSpace
+
+#: Largest candidate set evaluated as one ``simulate_batch`` call.  The
+#: full exhaustive tile/brick spaces the ROADMAP aims at sit well under
+#: this; anything bigger falls back to the per-candidate scalar engine
+#: (which can spread over a pool and apply retry policies).
+BATCH_TUNE_MAX = 4096
 
 
 @dataclass(frozen=True)
@@ -92,18 +105,41 @@ class Autotuner:
                     platform.arch.simd_width, stencil.radius, domain
                 )
             )
-            evaluate = functools.partial(
-                evaluate_candidate,
-                stencil=stencil,
-                variant=self.variant,
-                platform=platform,
-                domain=domain,
-                stencil_name=stencil_name,
+            jobs_n = resolve_jobs(jobs)
+            use_batch = (
+                policy is None and jobs_n <= 1 and 0 < len(points) <= BATCH_TUNE_MAX
             )
-            results = parallel_map(
-                evaluate, points, jobs=jobs, policy=policy,
-                capture_failures=policy is not None,
-            )
+            mode = "batch" if use_batch else "scalar"
+            if sp is not None:
+                sp.set_attr("mode", mode)
+            counter(f"tune.mode.{mode}").inc()
+            if use_batch:
+                bpoints = [
+                    BatchPoint(
+                        stencil=stencil,
+                        variant=self.variant,
+                        platform=platform,
+                        domain=domain,
+                        stencil_name=stencil_name,
+                        dims=p.brick_dims(),
+                        vector_length=p.vector_length,
+                    )
+                    for p in points
+                ]
+                results = simulate_batch(bpoints)
+            else:
+                evaluate = functools.partial(
+                    evaluate_candidate,
+                    stencil=stencil,
+                    variant=self.variant,
+                    platform=platform,
+                    domain=domain,
+                    stencil_name=stencil_name,
+                )
+                results = parallel_map(
+                    evaluate, points, jobs=jobs, policy=policy,
+                    capture_failures=policy is not None,
+                )
             ranked: List[Tuple[TuningPoint, float, SimulationResult]] = []
             dropped: List[Tuple[TuningPoint, TaskFailure]] = []
             for point, res in zip(points, results):

@@ -1,0 +1,445 @@
+"""The batch-vectorized engine: bit-exact equivalence with the oracle.
+
+``simulate_batch`` replaces the scalar ``simulate()`` loop for large
+sweeps, so the scalar path is its oracle: every result field — floats
+*bitwise*, ints by value, types by identity — must match, across every
+dispatch mode, including failure degradation under injected faults.
+These tests pin that contract, plus the dispatch decision layer that
+routes between the engines.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import harness, obs
+from repro.dsl.shapes import by_name
+from repro.errors import ExecutionError, SimulationError
+from repro.exec import (
+    DISPATCH_MODES,
+    break_even_points,
+    choose_dispatch,
+    clear_cost_model,
+    observed_cost,
+    parallel_map,
+    record_cost,
+)
+from repro.gpu import BatchPoint, platform, simulate, simulate_batch, study_platforms
+from repro.resilience import FaultPlan, RetryPolicy, TaskFailure
+from repro.tuning.space import TuningSpace
+
+SMALL = harness.ExperimentConfig(stencils=("7pt",), domain=(64, 64, 64))
+STENCILS = ("7pt", "13pt", "27pt", "125pt")
+VARIANTS = ("array", "array_codegen", "bricks_codegen")
+PLATFORMS = study_platforms()
+
+
+@pytest.fixture
+def registry():
+    prev = obs.get_registry()
+    reg = obs.set_registry(obs.MetricsRegistry())
+    yield reg
+    obs.set_registry(prev)
+
+
+@pytest.fixture
+def tracer():
+    prev_t, prev_r = obs.get_tracer(), obs.get_registry()
+    t = obs.set_tracer(obs.Tracer(enabled=True))
+    obs.set_registry(obs.MetricsRegistry())
+    yield t
+    obs.set_tracer(prev_t)
+    obs.set_registry(prev_r)
+
+
+def _bits(result) -> bytes:
+    """Every float field of a result, packed — equality here is bitwise."""
+    tr, tm = result.traffic, result.timing
+    return struct.pack(
+        "<12d",
+        tr.hbm_read_bytes,
+        tr.hbm_write_bytes,
+        tr.l1_bytes,
+        tr.reuse_miss_bytes,
+        tm.t_hbm,
+        tm.t_l1,
+        tm.t_fp,
+        tm.t_shuffle,
+        tm.t_issue,
+        tm.launch_overhead,
+        tm.occupancy,
+        result.time_s,
+    )
+
+
+def assert_bit_identical(batch_result, scalar_result):
+    assert batch_result == scalar_result
+    assert _bits(batch_result) == _bits(scalar_result)
+    # Same *types* too: the scalar path hands back native ints for
+    # sector counts; ndarray.tolist() must not leak numpy scalars.
+    for field in ("load_sectors", "store_sectors"):
+        assert type(getattr(batch_result.traffic, field)) is type(
+            getattr(scalar_result.traffic, field)
+        )
+    assert type(batch_result.traffic.hbm_read_bytes) is float
+
+
+class TestBitExactness:
+    @given(
+        name=st.sampled_from(STENCILS),
+        plat_idx=st.integers(0, len(PLATFORMS) - 1),
+        variant=st.sampled_from(VARIANTS),
+        ni=st.integers(1, 4).map(lambda m: 64 * m),
+        nj=st.integers(1, 8).map(lambda m: 4 * m),
+        nk=st.integers(1, 8).map(lambda m: 4 * m),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_single_point_matches_oracle(
+        self, name, plat_idx, variant, ni, nj, nk
+    ):
+        stencil = by_name(name).build()
+        plat = PLATFORMS[plat_idx]
+        domain = (ni, nj, nk)
+        scalar = simulate(
+            stencil, variant, plat, domain=domain, stencil_name=name,
+            check_invariants=False,
+        )
+        (batch,) = simulate_batch(
+            [
+                BatchPoint(
+                    stencil=stencil, variant=variant, platform=plat,
+                    domain=domain, stencil_name=name,
+                )
+            ],
+            check_invariants=False,
+        )
+        assert_bit_identical(batch, scalar)
+
+    def test_tuning_overrides_match_oracle(self):
+        # dims/vector_length overrides (the tuner's use of the engine).
+        stencil = by_name("13pt").build()
+        plat = platform("A100", "CUDA")
+        domain = (128, 64, 64)
+        points = list(
+            TuningSpace().candidates(
+                plat.arch.simd_width, stencil.radius, domain
+            )
+        )[:12]
+        bpoints = [
+            BatchPoint(
+                stencil=stencil, variant="bricks_codegen", platform=plat,
+                domain=domain, dims=p.brick_dims(),
+                vector_length=p.vector_length,
+            )
+            for p in points
+        ]
+        batch = simulate_batch(bpoints, check_invariants=False)
+        for p, b in zip(points, batch):
+            scalar = simulate(
+                stencil, "bricks_codegen", plat, domain=domain,
+                dims=p.brick_dims(), vector_length=p.vector_length,
+                check_invariants=False,
+            )
+            assert_bit_identical(b, scalar)
+
+    def test_mixed_matrix_matches_oracle(self):
+        points = [
+            BatchPoint(
+                stencil=by_name(name).build(), variant=variant,
+                platform=plat, domain=(128, 32, 32), stencil_name=name,
+            )
+            for name in ("7pt", "25pt")
+            for plat in PLATFORMS
+            for variant in VARIANTS
+        ]
+        batch = simulate_batch(points, check_invariants=False)
+        for p, b in zip(points, batch):
+            scalar = simulate(
+                p.stencil, p.variant, p.platform, domain=p.domain,
+                stencil_name=p.stencil_name, check_invariants=False,
+            )
+            assert_bit_identical(b, scalar)
+
+
+class TestStudyEquivalence:
+    def test_three_way_results_identical(self):
+        serial = harness.run_study(SMALL, dispatch="serial")
+        vectorized = harness.run_study(SMALL, dispatch="vectorized")
+        pool = harness.run_study(SMALL, parallel=2, dispatch="pool")
+        assert list(vectorized.results) == list(serial.results)
+        assert vectorized.results == serial.results
+        assert pool.results == serial.results
+        for key in serial.results:
+            assert _bits(vectorized.results[key]) == _bits(serial.results[key])
+
+    def test_vectorized_counters_match_serial(self, registry):
+        harness.run_study(SMALL, dispatch="serial")
+        serial = {
+            name: registry.counter(name).value
+            for name in ("simulate.calls", "simulate.tiles",
+                         "codegen.vector_ops", "study.points")
+        }
+        obs.set_registry(obs.MetricsRegistry())
+        reg = obs.get_registry()
+        harness.run_study(SMALL, dispatch="vectorized")
+        vectorized = {
+            name: reg.counter(name).value for name in serial
+        }
+        assert vectorized == serial
+
+    def test_three_way_identical_under_faults(self):
+        config = SMALL
+
+        def plan_for():
+            return FaultPlan.seeded(
+                3, config.keys(), raise_rate=0.3, corrupt_rate=0.15
+            )
+
+        assert len(plan_for()) > 0
+        policy = RetryPolicy(retries=3, backoff_s=0.0)
+        clean = harness.run_study(config, dispatch="serial")
+        runs = {
+            mode: harness.run_study(
+                config, parallel=2 if mode == "pool" else None,
+                policy=policy, fault_plan=plan_for(), dispatch=mode,
+            )
+            for mode in DISPATCH_MODES
+        }
+        for mode, study in runs.items():
+            assert study.complete, mode
+            assert study.results == clean.results, mode
+
+    def test_failed_points_identical_across_modes(self):
+        # Zero retries: every injected transient raise becomes a
+        # degraded FAILED entry; the records must agree byte for byte.
+        config = SMALL
+        policy = RetryPolicy(retries=0, backoff_s=0.0)
+
+        def plan_for():
+            return FaultPlan.seeded(
+                3, config.keys(), raise_rate=0.3, corrupt_rate=0.0
+            )
+
+        assert plan_for().count("raise") > 0
+        runs = {
+            mode: harness.run_study(
+                config, parallel=2 if mode == "pool" else None,
+                policy=policy, fault_plan=plan_for(), dispatch=mode,
+            )
+            for mode in DISPATCH_MODES
+        }
+        serial = runs["serial"]
+        assert serial.failed  # the seed injects at least one raise
+        for mode in ("vectorized", "pool"):
+            assert runs[mode].failed == serial.failed, mode
+            assert runs[mode].results == serial.results, mode
+
+    def test_vectorized_span_tree(self, tracer):
+        harness.run_study(SMALL, dispatch="vectorized")
+        (root,) = tracer.roots()
+        assert root.name == "run_study"
+        assert root.attrs["dispatch"] == "vectorized"
+        (batch,) = root.find("sweep.batch")
+        assert batch.attrs["points"] == 15
+        assert batch.attrs["groups"] == 15  # one group per combo here
+        assert [c.name for c in batch.children] == ["sweep.chunk"]
+
+    def test_checkpoint_and_resume(self, tmp_path):
+        first = harness.run_study(
+            SMALL, dispatch="vectorized", cache_dir=str(tmp_path),
+            checkpoint_every=4,
+        )
+        resumed = harness.run_study(
+            SMALL, dispatch="vectorized", cache_dir=str(tmp_path),
+            resume=True,
+        )
+        assert resumed.results == first.results
+
+
+class TestBatchFailureSemantics:
+    def test_bad_domain_raises_like_scalar(self):
+        stencil = by_name("7pt").build()
+        plat = platform("A100", "CUDA")
+        bad = BatchPoint(
+            stencil=stencil, variant="array", platform=plat,
+            domain=(65, 64, 64),
+        )
+        with pytest.raises(SimulationError) as batch_err:
+            simulate_batch([bad], check_invariants=False)
+        with pytest.raises(SimulationError) as scalar_err:
+            simulate(
+                stencil, "array", plat, domain=(65, 64, 64),
+                check_invariants=False,
+            )
+        assert str(batch_err.value) == str(scalar_err.value)
+
+    def test_unknown_variant_raises_like_scalar(self):
+        stencil = by_name("7pt").build()
+        plat = platform("A100", "CUDA")
+        bad = BatchPoint(stencil=stencil, variant="nope", platform=plat)
+        with pytest.raises(SimulationError) as batch_err:
+            simulate_batch([bad])
+        with pytest.raises(SimulationError) as scalar_err:
+            simulate(stencil, "nope", plat)
+        assert str(batch_err.value) == str(scalar_err.value)
+
+    def test_capture_degrades_to_task_failure(self):
+        stencil = by_name("7pt").build()
+        plat = platform("A100", "CUDA")
+        good = BatchPoint(
+            stencil=stencil, variant="array", platform=plat,
+            domain=(64, 64, 64),
+        )
+        bad = BatchPoint(
+            stencil=stencil, variant="array", platform=plat,
+            domain=(65, 64, 64),
+        )
+        out = simulate_batch(
+            [good, bad, good], capture_failures=True, check_invariants=False
+        )
+        assert isinstance(out[1], TaskFailure)
+        assert out[1].error_type == "SimulationError"
+        assert out[1].attempts == 1 and not out[1].timed_out
+        assert out[0] == out[2]
+        assert not isinstance(out[0], TaskFailure)
+
+    def test_failure_does_not_bump_counters(self, registry):
+        stencil = by_name("7pt").build()
+        plat = platform("A100", "CUDA")
+        bad = BatchPoint(
+            stencil=stencil, variant="array", platform=plat,
+            domain=(65, 64, 64),
+        )
+        simulate_batch([bad], capture_failures=True, check_invariants=False)
+        assert registry.counter("simulate.calls").value == 0
+
+    def test_on_result_fires_in_order(self):
+        stencil = by_name("7pt").build()
+        plat = platform("A100", "CUDA")
+        points = [
+            BatchPoint(
+                stencil=stencil, variant=v, platform=plat,
+                domain=(64, 64, 64),
+            )
+            for v in VARIANTS
+        ]
+        seen = []
+        out = simulate_batch(
+            points, check_invariants=False, chunk_size=2,
+            on_result=lambda i, r: seen.append((i, r)),
+        )
+        assert [i for i, _ in seen] == [0, 1, 2]
+        assert [r for _, r in seen] == out
+
+
+class TestDispatchDecision:
+    def test_single_point_stays_serial(self, registry):
+        assert choose_dispatch(1, 8).mode == "serial"
+
+    def test_large_sweep_vectorizes_even_serial(self, registry):
+        decision = choose_dispatch(100_000, 1)
+        assert decision.mode == "vectorized"
+
+    def test_parallel_request_vectorizes(self, registry):
+        assert choose_dispatch(90, 4).mode == "vectorized"
+
+    def test_small_serial_sweep_stays_serial(self, registry):
+        assert choose_dispatch(90, 1).mode == "serial"
+
+    def test_unvectorizable_parallel_goes_pool(self, registry):
+        assert choose_dispatch(90, 4, vectorizable=False).mode == "pool"
+
+    def test_forced_mode_wins(self, registry):
+        for mode in DISPATCH_MODES:
+            assert choose_dispatch(90, 4, forced=mode).mode == mode
+
+    def test_unknown_forced_mode_raises(self, registry):
+        with pytest.raises(ExecutionError, match="unknown dispatch"):
+            choose_dispatch(90, 4, forced="quantum")
+
+    def test_decisions_are_counted(self, registry):
+        choose_dispatch(90, 4)
+        assert registry.counter("exec.dispatch.vectorized").value == 1
+
+    def test_break_even_infinite_without_parallelism(self):
+        assert break_even_points(0.01, 4, cpus=1) == float("inf")
+        assert break_even_points(0.01, 1, cpus=8) == float("inf")
+
+    def test_break_even_finite_with_parallelism(self):
+        n = break_even_points(0.01, 4, cpus=4)
+        assert 0 < n < float("inf")
+        # Cheaper items need more of them to amortise pool startup.
+        assert break_even_points(0.001, 4, cpus=4) > n
+
+    def test_cost_model_ewma(self, registry):
+        clear_cost_model()
+        try:
+            record_cost(_costed, 0.1)
+            record_cost(_costed, 0.2)
+            assert observed_cost(_costed) == pytest.approx(0.15)
+        finally:
+            clear_cost_model()
+        assert observed_cost(_costed) is None
+
+
+def _costed(x):
+    return x
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestPoolAutoFallback:
+    def test_cheap_parallel_map_falls_back_to_serial(self, registry):
+        clear_cost_model()
+        try:
+            record_cost(_double, 1e-6)  # far below any break-even
+            out = parallel_map(_double, list(range(50)), jobs=4)
+            assert out == [2 * x for x in range(50)]
+            assert registry.counter("exec.dispatch.serial_fallback").value == 1
+        finally:
+            clear_cost_model()
+
+    def test_probe_path_records_cost(self, registry):
+        clear_cost_model()
+        try:
+            out = parallel_map(_double, list(range(40)), jobs=2)
+            assert out == [2 * x for x in range(40)]
+            assert observed_cost(_double) is not None
+        finally:
+            clear_cost_model()
+
+    def test_auto_fallback_off_keeps_the_pool(self, registry):
+        clear_cost_model()
+        try:
+            record_cost(_double, 1e-6)
+            out = parallel_map(
+                _double, list(range(12)), jobs=2, auto_fallback=False
+            )
+            assert out == [2 * x for x in range(12)]
+            assert registry.counter("exec.dispatch.serial_fallback").value == 0
+        finally:
+            clear_cost_model()
+
+
+class TestTuningDispatch:
+    def test_batch_and_pool_tuning_agree(self, registry):
+        from repro.tuning import Autotuner
+
+        stencil = by_name("13pt").build()
+        plat = platform("A100", "CUDA")
+        domain = (64, 64, 64)
+        batch = Autotuner().tune(
+            stencil, plat, domain=domain, stencil_name="13pt"
+        )
+        assert registry.counter("tune.mode.batch").value == 1
+        pool = Autotuner().tune(
+            stencil, plat, domain=domain, stencil_name="13pt", jobs=2
+        )
+        assert registry.counter("tune.mode.scalar").value == 1
+        assert batch.best == pool.best
+        assert batch.ranking == pool.ranking
+        assert _bits(batch.best_result) == _bits(pool.best_result)

@@ -130,7 +130,10 @@ class TestStudyEquivalence:
         assert registry.counter("codegen.vector_ops").value > 0
 
     def test_parallel_span_tree_matches_serial_contract(self, tracer):
-        harness.run_study(SMALL, parallel=2)
+        # dispatch="pool" pins the per-point worker span tree; the
+        # default auto-dispatch routes jobs>1 to the vectorized engine,
+        # whose span contract is covered by test_batch_equivalence.
+        harness.run_study(SMALL, parallel=2, dispatch="pool")
         (root,) = tracer.roots()
         assert root.name == "run_study"
         assert root.attrs["jobs"] == 2
@@ -149,7 +152,7 @@ class TestStudyEquivalence:
             ]
 
     def test_adopted_span_ids_are_unique(self, tracer):
-        harness.run_study(SMALL, parallel=2)
+        harness.run_study(SMALL, parallel=2, dispatch="pool")
         (root,) = tracer.roots()
         ids = [s.span_id for s in root.walk()]
         assert len(ids) == len(set(ids))
