@@ -27,6 +27,12 @@ CI runs this after the unit tests.  Gates:
    must complete via retries and stay bit-identical to the fault-free
    serial run; the faulted run's span tree lands in ``--trace-out`` as
    a Chrome trace for inspection.
+6. **serve** (``--serve``) — request RTT p50/p95 through the study
+   service (submit → poll → fetch over real HTTP) vs direct
+   ``run_study``: every served study must be byte-identical to the
+   direct run, a duplicate pass must be answered entirely from the
+   shared store (dedup RTT p95 under a hard ceiling, zero simulation),
+   and the ``gate.serve.*`` numbers trend in the warehouse.
 
 Timings land in ``BENCH_sweep.json`` (``--out``) so perf regressions
 are visible in review diffs.  With ``--telemetry-db PATH`` (default
@@ -92,6 +98,12 @@ CHAOS_CORRUPT_RATE = 0.03
 #: the baseline probe times.
 BATCH_SPEEDUP_FLOOR = 100.0
 BATCH_PROBE_POINTS = 200
+
+#: Serve gate: distinct tenant requests timed through the service, and
+#: the hard ceiling on the p95 RTT of a dedup'd (store-answered)
+#: duplicate — a pure HTTP + hash lookup that must never grow a sweep.
+SERVE_REQUESTS = 6
+SERVE_DEDUP_P95_CEILING_MS = 1000.0
 
 
 def _counter_value(name: str) -> int:
@@ -500,6 +512,128 @@ def chaos_bench(
         print(f"chaos trace written to {trace_out}")
 
 
+def _quantile_ms(samples_s: list, q: float) -> float:
+    """The q-quantile of a list of second-timings, in milliseconds."""
+    ordered = sorted(samples_s)
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[idx] * 1e3
+
+
+def serve_bench(failures: list, doc: dict) -> None:
+    """Gate 6 (``--serve``): service RTT vs direct ``run_study``.
+
+    Boots the study server in-process on a free port and times
+    ``SERVE_REQUESTS`` distinct small studies three ways: direct
+    ``run_study`` (the floor), cold through the service (submit → poll
+    → fetch over real HTTP; carries one poll interval of latency by
+    design), and duplicated through the service (answered from the
+    shared result store with zero simulation).  Hard conditions: byte
+    identity with ``dump_study`` of the direct run, every duplicate a
+    dedup hit, and the dedup RTT p95 under
+    ``SERVE_DEDUP_P95_CEILING_MS``.
+    """
+    from repro.serve import Orchestrator, ResultStore, ServeClient, start_server
+
+    config_docs = [
+        {"stencils": ["7pt"], "variants": ["array"],
+         "domain": [64 * (i + 1), 64, 64]}
+        for i in range(SERVE_REQUESTS)
+    ]
+    configs = [harness.config_from_dict(d) for d in config_docs]
+
+    direct_rtts, direct_bytes = [], []
+    for config in configs:
+        harness.clear_study_cache()
+        clear_codegen_memo()
+        t0 = time.perf_counter()
+        study = harness.run_study(config)
+        direct_rtts.append(time.perf_counter() - t0)
+        direct_bytes.append(
+            json.dumps(harness.study_to_dict(study), indent=1).encode()
+        )
+
+    orchestrator = Orchestrator(
+        ResultStore(), queue_limit=32, workers=2, batch_window=8
+    )
+    server, _thread = start_server(0, orchestrator)
+    server.start()
+    client = ServeClient(f"http://127.0.0.1:{server.port}")
+    try:
+        serve_rtts, job_ids = [], []
+        for config_doc in config_docs:
+            harness.clear_study_cache()
+            clear_codegen_memo()
+            t0 = time.perf_counter()
+            job = client.submit(config_doc)
+            final = client.wait(job["job_id"])
+            body = client.result_bytes(job["job_id"])
+            serve_rtts.append(time.perf_counter() - t0)
+            job_ids.append(job["job_id"])
+            if final["state"] != "done" or not final["complete"]:
+                failures.append(
+                    f"served study {job['job_id']} not complete: {final}"
+                )
+        for expected, job_id in zip(direct_bytes, job_ids):
+            if client.result_bytes(job_id) != expected:
+                failures.append(
+                    f"served result {job_id} is not byte-identical to the "
+                    f"direct run_study"
+                )
+
+        dedup_before = _counter_value("serve.dedup_hits")
+        points_before = _counter_value("study.points")
+        dedup_rtts = []
+        for config_doc in config_docs:
+            t0 = time.perf_counter()
+            job = client.submit(config_doc)
+            client.result_bytes(job["job_id"])
+            dedup_rtts.append(time.perf_counter() - t0)
+            if not job["dedup"]:
+                failures.append(
+                    f"duplicate submission {job['job_id']} missed the "
+                    f"shared store"
+                )
+        dedup_hits = _counter_value("serve.dedup_hits") - dedup_before
+        if _counter_value("study.points") != points_before:
+            failures.append(
+                "duplicate submissions re-simulated points instead of "
+                "being served from the store"
+            )
+    finally:
+        server.shutdown_all()
+
+    serve_p50, serve_p95 = _quantile_ms(serve_rtts, 0.5), _quantile_ms(serve_rtts, 0.95)
+    dedup_p95 = _quantile_ms(dedup_rtts, 0.95)
+    direct_p50 = _quantile_ms(direct_rtts, 0.5)
+    doc["serve"] = {
+        "requests": len(config_docs),
+        "rtt_p50_ms": round(serve_p50, 2),
+        "rtt_p95_ms": round(serve_p95, 2),
+        "dedup_rtt_p50_ms": round(_quantile_ms(dedup_rtts, 0.5), 2),
+        "dedup_rtt_p95_ms": round(dedup_p95, 2),
+        "direct_p50_ms": round(direct_p50, 2),
+        "direct_p95_ms": round(_quantile_ms(direct_rtts, 0.95), 2),
+        "overhead_x": round(serve_p50 / direct_p50, 2) if direct_p50 else None,
+        "dedup_hits": dedup_hits,
+    }
+    print(
+        f"serve: {len(config_docs)} requests, RTT p50 {serve_p50:.0f} ms / "
+        f"p95 {serve_p95:.0f} ms (direct p50 {direct_p50:.0f} ms), "
+        f"dedup p95 {dedup_p95:.1f} ms, {dedup_hits} dedup hits"
+    )
+
+    if dedup_hits != len(config_docs):
+        failures.append(
+            f"only {dedup_hits}/{len(config_docs)} duplicates were dedup "
+            f"hits"
+        )
+    if dedup_p95 > SERVE_DEDUP_P95_CEILING_MS:
+        failures.append(
+            f"dedup RTT p95 {dedup_p95:.0f} ms above the "
+            f"{SERVE_DEDUP_P95_CEILING_MS:.0f} ms ceiling"
+        )
+
+
 def _gate_results(doc: dict) -> dict:
     """The ``doc`` numbers worth trending, as named telemetry gates.
 
@@ -540,6 +674,20 @@ def _gate_results(doc: dict) -> dict:
         gates["batch.auto_speedup"] = (
             batch["auto_speedup"], batch["auto_speedup"] >= 1.0,
         )
+    if "serve" in doc:
+        serve = doc["serve"]
+        gates["serve.rtt_p50_ms"] = (serve["rtt_p50_ms"], True)
+        gates["serve.rtt_p95_ms"] = (serve["rtt_p95_ms"], True)
+        gates["serve.dedup_rtt_p95_ms"] = (
+            serve["dedup_rtt_p95_ms"],
+            serve["dedup_rtt_p95_ms"] <= SERVE_DEDUP_P95_CEILING_MS,
+        )
+        gates["serve.dedup_hits"] = (
+            float(serve["dedup_hits"]),
+            serve["dedup_hits"] == serve["requests"],
+        )
+        if serve["overhead_x"] is not None:
+            gates["serve.overhead_x"] = (serve["overhead_x"], True)
     if "chaos" in doc:
         gates["chaos.retries"] = (float(doc["chaos"]["retries"]), True)
         gates["chaos.failed_points"] = (
@@ -559,7 +707,7 @@ def record_telemetry(
     telemetry job turns it into a hard check on a controlled history).
     """
     config = {"jobs": doc.get("sweep", {}).get("jobs"),
-              "chaos": "chaos" in doc}
+              "chaos": "chaos" in doc, "serve": "serve" in doc}
     config_hash = hashlib.sha256(
         json.dumps(config, sort_keys=True).encode()
     ).hexdigest()[:16]
@@ -620,6 +768,11 @@ def main(argv=None) -> int:
              "(default CHAOS_trace.json; only written with --inject-faults)",
     )
     parser.add_argument(
+        "--serve", action="store_true",
+        help="also run the serve gate: RTT p50/p95 through the study "
+             "service vs direct run_study, dedup + byte-identity checks",
+    )
+    parser.add_argument(
         "--telemetry-db", default=None, metavar="PATH",
         help="append the run (spans, counters, gate values) to this "
         "telemetry warehouse and print the cross-run obs diff verdict "
@@ -650,6 +803,8 @@ def main(argv=None) -> int:
             "chaos", failures, chaos_bench, doc, args.jobs,
             args.inject_faults, args.trace_out,
         )
+    if args.serve:
+        _run_gate("serve", failures, serve_bench, doc)
 
     with open(args.out, "w") as f:
         json.dump(doc, f, indent=1)

@@ -9,6 +9,8 @@ Installed as the ``repro-stencil`` console script::
     repro-stencil simulate --stencil 13pt --arch A100 --model CUDA
     repro-stencil emit --stencil 13pt --model SYCL --layout brick
     repro-stencil tune --stencil 27pt --arch PVC --model SYCL
+    repro-stencil serve --port 8787 --cache-dir
+    repro-stencil client run --stencils 7pt --variants array
     repro-stencil obs
     repro-stencil obs diff --telemetry-db telemetry.db
     repro-stencil obs trend span.run_study.total_s --telemetry-db telemetry.db
@@ -418,6 +420,162 @@ def _record_telemetry(
         return 1
 
 
+def _serve(args) -> int:
+    """Run the study-serving HTTP service in the foreground.
+
+    SIGTERM and Ctrl-C both shut down cleanly, which matters beyond
+    politeness: a clean exit returns through :func:`main`'s telemetry
+    path, so a served session records its ``serve.*`` counters and
+    request spans to the warehouse like any other subcommand.
+    """
+    import signal
+    import threading
+
+    from repro.serve import Orchestrator, ResultStore, StudyServer
+
+    cache_dir = args.cache_dir or os.environ.get(harness.CACHE_DIR_ENV) or None
+    orchestrator = Orchestrator(
+        ResultStore(cache_dir),
+        queue_limit=args.queue_limit,
+        workers=args.workers,
+        batch_window=args.batch_window,
+        jobs=args.jobs,
+    )
+    server = StudyServer((args.host, args.port), orchestrator)
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = None
+    if threading.current_thread() is threading.main_thread():
+        previous = signal.signal(signal.SIGTERM, _terminate)
+    orchestrator.start()
+    print(
+        f"serving on http://{args.host}:{server.port}  "
+        f"(workers={args.workers}, queue-limit={args.queue_limit}, "
+        f"batch-window={args.batch_window}, "
+        f"cache={cache_dir or 'memory-only'})",
+        flush=True,
+    )
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+        server.server_close()
+        orchestrator.stop()
+    return 0
+
+
+def _client_config(args) -> Optional[dict]:
+    """The config document for a client submission, or None for default.
+
+    ``--config`` takes inline JSON (``'{"stencils": ...}'``) or a path
+    to a JSON file; the convenience flags (``--stencils`` etc.) build
+    the document piecewise and lose to an explicit ``--config``.
+    """
+    if args.config:
+        text = args.config
+        if not text.lstrip().startswith("{"):
+            with open(text) as f:
+                text = f.read()
+        doc = json.loads(text)
+        if not isinstance(doc, dict):
+            raise SystemExit("error: --config must hold a JSON object")
+        return doc
+    doc = {}
+    if args.stencils:
+        doc["stencils"] = args.stencils
+    if args.variants:
+        doc["variants"] = args.variants
+    if args.domain:
+        doc["domain"] = list(args.domain)
+    if args.platforms:
+        doc["platforms"] = args.platforms
+    return doc or None
+
+
+def _client(args) -> int:
+    """One REST interaction with a running study server.
+
+    The resilience flags from the common parent (``--retries``,
+    ``--task-timeout``, ``--inject-faults``, ``--dispatch``) become the
+    submitted job's per-job options rather than local settings.
+    """
+    from repro.serve import BackpressureError, ServeClient
+    from repro.errors import ServeError
+
+    client = ServeClient(args.url, timeout_s=args.http_timeout)
+    options: dict = {}
+    if args.retries is not None:
+        options["retries"] = args.retries
+    if args.task_timeout is not None:
+        options["task_timeout"] = args.task_timeout
+    if args.inject_faults is not None:
+        options["inject_faults"] = args.inject_faults
+    if args.dispatch is not None:
+        options["dispatch"] = args.dispatch
+    if args.sleep_s:
+        options["sleep_s"] = args.sleep_s
+
+    def _job_id() -> str:
+        if not args.job_id:
+            raise SystemExit(
+                f"error: client {args.action} needs --job-id"
+            )
+        return args.job_id
+
+    def _emit_result(body: bytes) -> None:
+        if args.out:
+            with open(args.out, "wb") as f:
+                f.write(body)
+            print(f"result written to {args.out}")
+        else:
+            sys.stdout.write(body.decode())
+
+    try:
+        if args.action == "health":
+            doc = client.health()
+        elif args.action == "metrics":
+            doc = client.metrics()
+        elif args.action == "jobs":
+            doc = client.jobs()
+        elif args.action == "submit":
+            doc = client.submit(_client_config(args), options or None)
+        elif args.action == "status":
+            doc = client.status(_job_id())
+        elif args.action == "wait":
+            doc = client.wait(_job_id(), timeout_s=args.wait_timeout)
+        elif args.action == "cancel":
+            doc = client.cancel(_job_id())
+        elif args.action == "result":
+            _emit_result(client.result_bytes(_job_id()))
+            return 0
+        else:  # run: submit -> poll -> fetch
+            study_doc = client.run(
+                _client_config(args), options or None,
+                timeout_s=args.wait_timeout,
+            )
+            _emit_result(
+                json.dumps(study_doc, indent=1).encode()
+                if args.out else (json.dumps(study_doc, indent=1) + "\n").encode()
+            )
+            return 0
+    except BackpressureError as exc:
+        print(
+            f"error: {exc} (Retry-After: {exc.retry_after_s:g}s)",
+            file=sys.stderr,
+        )
+        return 4
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(doc, indent=1))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-stencil",
@@ -635,6 +793,82 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--arch", required=True, choices=archs)
     p.add_argument("--model", required=True, choices=models)
     p.set_defaults(func=_tune)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant study-serving HTTP service "
+        "(dedup, micro-batching, backpressure)",
+        parents=[common],
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8787,
+                   help="listen port (0 picks a free one; default 8787)")
+    p.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="orchestrator worker threads draining the job queue "
+        "(default 2)",
+    )
+    p.add_argument(
+        "--queue-limit", type=int, default=32, metavar="N",
+        help="bounded job-queue depth; overflow is rejected with "
+        "HTTP 429 + Retry-After (default 32)",
+    )
+    p.add_argument(
+        "--batch-window", type=int, default=8, metavar="N",
+        help="max clean jobs fused into one vectorized micro-batch "
+        "(1 disables micro-batching; default 8)",
+    )
+    p.set_defaults(func=_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="talk to a running study server (submit/poll/fetch)",
+        parents=[common],
+    )
+    p.add_argument(
+        "action",
+        choices=("run", "submit", "status", "wait", "result", "cancel",
+                 "jobs", "health", "metrics"),
+        help="run = submit + poll + fetch in one call",
+    )
+    p.add_argument(
+        "--url", default=os.environ.get("REPRO_SERVE_URL",
+                                        "http://127.0.0.1:8787"),
+        help="server base URL (default: $REPRO_SERVE_URL or "
+        "http://127.0.0.1:8787)",
+    )
+    p.add_argument("--job-id", default=None,
+                   help="target job for status/wait/result/cancel")
+    p.add_argument(
+        "--config", default=None, metavar="JSON|FILE",
+        help="study config as inline JSON or a JSON file path "
+        "(default: the paper's full 90-point study)",
+    )
+    p.add_argument("--stencils", nargs="+", default=None,
+                   choices=sorted(harness.STENCIL_NAMES), metavar="S",
+                   help="convenience config: stencil subset")
+    p.add_argument("--variants", nargs="+", default=None, choices=VARIANTS,
+                   metavar="V", help="convenience config: variant subset")
+    p.add_argument("--domain", type=int, nargs=3, default=None,
+                   metavar=("NI", "NJ", "NK"),
+                   help="convenience config: domain extents")
+    p.add_argument("--platforms", nargs="+", default=None, metavar="P",
+                   help="convenience config: platform-name subset")
+    p.add_argument(
+        "--sleep-s", type=float, default=0.0, metavar="SECONDS",
+        help="synthetic per-job service time (dev knob for "
+        "backpressure drills; makes the job non-dedupable)",
+    )
+    p.add_argument("--wait-timeout", type=float, default=120.0,
+                   metavar="SECONDS",
+                   help="poll deadline for wait/run (default 120)")
+    p.add_argument("--http-timeout", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="per-request socket timeout (default 30)")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write run/result payload to FILE instead of stdout")
+    p.set_defaults(func=_client)
 
     return parser
 

@@ -53,6 +53,29 @@ class ExecutionError(ReproError):
     """Parallel execution engine misuse (bad job count, broken worker)."""
 
 
+class ServeError(ReproError):
+    """Study-serving service misuse (bad request, unknown job, bad state).
+
+    Raised by :mod:`repro.serve` for malformed study submissions,
+    invalid job-state transitions, and client-side HTTP failures.  The
+    HTTP layer maps it to a 4xx response instead of letting it kill the
+    server process.
+    """
+
+
+class QueueFullError(ServeError):
+    """The service's bounded job queue rejected a submission.
+
+    Backpressure, not breakage: the HTTP layer answers 429 with a
+    ``Retry-After`` estimate (carried in :attr:`retry_after_s`), and the
+    client is expected to resubmit later.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
 class TransientError(ExecutionError):
     """A task failure that is expected to succeed on retry.
 

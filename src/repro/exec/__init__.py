@@ -18,6 +18,7 @@ from repro.exec.dispatch import (
     choose_dispatch,
     clear_cost_model,
     map_study_points,
+    microbatch_study_points,
     observed_cost,
     record_cost,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "clear_cost_model",
     "evaluate_candidate",
     "map_study_points",
+    "microbatch_study_points",
     "observed_cost",
     "parallel_map",
     "record_cost",

@@ -45,7 +45,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ExecutionError
-from repro.obs import counter, gauge
+from repro.obs import counter, gauge, span
 from repro.resilience.policy import RetryPolicy
 
 __all__ = [
@@ -59,6 +59,7 @@ __all__ = [
     "choose_dispatch",
     "clear_cost_model",
     "map_study_points",
+    "microbatch_study_points",
     "observed_cost",
     "record_cost",
 ]
@@ -274,3 +275,59 @@ def map_study_points(
                 on_result(i, result)
         counter("exec.dispatch.scalar_routed_points").inc(len(dirty))
     return results
+
+
+def microbatch_study_points(
+    groups: Sequence[Sequence[Any]],
+    *,
+    check_invariants: Optional[bool] = None,
+) -> List[List[Any]]:
+    """Evaluate several small item lists as ONE vectorized batch call.
+
+    The serving layer's micro-batching primitive: ``groups`` holds one
+    study-item list per concurrent request, and all of them are
+    concatenated into a single :func:`repro.gpu.simulate_batch` sweep —
+    so N tiny tenant studies pay the batch engine's per-group setup
+    (codegen, cost model) once per *unique* configuration instead of
+    once per request.  Results come back split per group, one
+    result-or-:class:`~repro.resilience.TaskFailure` per item, in item
+    order — exactly what each caller's own
+    :func:`~repro.exec.dispatch.map_study_points` call would have
+    produced, since the batch engine is bit-identical point-wise and
+    per-point failure records do not depend on batch composition.
+
+    Callers route only *clean* work here (no fault plans — injected
+    faults need the scalar retry path, which micro-batching would
+    serialize behind unrelated tenants).  ``exec.dispatch.microbatch.*``
+    counters record coalescing effectiveness.
+    """
+    from repro.gpu.batch import BatchPoint, simulate_batch
+
+    sizes = [len(group) for group in groups]
+    flat = [item for group in groups for item in group]
+    batch_points = [
+        BatchPoint(
+            stencil=item[1],
+            variant=item[3],
+            platform=item[2],
+            domain=item[4],
+            stencil_name=item[0],
+        )
+        for item in flat
+    ]
+    with span(
+        "exec.microbatch", groups=len(groups), points=len(flat)
+    ):
+        outcomes = simulate_batch(
+            batch_points,
+            capture_failures=True,
+            check_invariants=check_invariants,
+        )
+    counter("exec.dispatch.microbatch.groups").inc(len(groups))
+    counter("exec.dispatch.microbatch.points").inc(len(flat))
+    split: List[List[Any]] = []
+    start = 0
+    for size in sizes:
+        split.append(outcomes[start:start + size])
+        start += size
+    return split

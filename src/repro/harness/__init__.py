@@ -18,6 +18,7 @@ from repro.harness.experiments import (
     StudyResults,
     cached_study,
     clear_study_cache,
+    config_from_dict,
     iter_results,
     run_study,
 )
@@ -75,6 +76,7 @@ __all__ = [
     "cached_study",
     "clear_study_cache",
     "clear_study_checkpoint",
+    "config_from_dict",
     "load_csv_rows",
     "load_study_checkpoint",
     "save_study_checkpoint",

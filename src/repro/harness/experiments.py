@@ -82,6 +82,83 @@ class ExperimentConfig:
             for variant in self.variants
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form, round-trippable via :func:`config_from_dict`."""
+        return {
+            "stencils": list(self.stencils),
+            "variants": list(self.variants),
+            "domain": list(self.domain),
+            "platforms": list(self.platform_filter),
+        }
+
+
+#: Keys a serialized sweep configuration may carry.
+_CONFIG_KEYS = frozenset({"stencils", "variants", "domain", "platforms"})
+
+
+def config_from_dict(doc: Optional[Dict]) -> ExperimentConfig:
+    """Parse an :class:`ExperimentConfig` from a JSON-shaped dict.
+
+    The wire format of the study-serving API (``POST /studies``): every
+    key is optional (missing = the paper's default), unknown keys and
+    malformed values raise :class:`~repro.errors.MetricError` so the
+    HTTP layer can answer 400 instead of queueing a job that can only
+    fail.  Stencil names, variants, and platform names are validated
+    here, at the boundary — a queued job must never die on a typo.
+    """
+    from repro.gpu.progmodel import VARIANTS
+
+    if doc is None:
+        return ExperimentConfig()
+    if not isinstance(doc, dict):
+        raise MetricError(
+            f"study config must be a JSON object, got {type(doc).__name__}"
+        )
+    unknown = set(doc) - _CONFIG_KEYS
+    if unknown:
+        raise MetricError(
+            f"unknown config key(s) {sorted(unknown)}; "
+            f"known: {sorted(_CONFIG_KEYS)}"
+        )
+    stencils = doc.get("stencils", list(STENCIL_NAMES))
+    variants = doc.get("variants", list(VARIANTS))
+    domain = doc.get("domain", [512, 512, 512])
+    platforms = doc.get("platforms", [])
+    for name, value in (("stencils", stencils), ("variants", variants),
+                        ("platforms", platforms)):
+        if not isinstance(value, (list, tuple)) or not all(
+            isinstance(v, str) for v in value
+        ):
+            raise MetricError(f"config {name!r} must be a list of strings")
+    if not stencils or not variants:
+        raise MetricError("config needs at least one stencil and one variant")
+    bad_stencils = [s for s in stencils if s not in STENCIL_NAMES]
+    if bad_stencils:
+        raise MetricError(
+            f"unknown stencil(s) {bad_stencils}; known: {list(STENCIL_NAMES)}"
+        )
+    bad_variants = [v for v in variants if v not in VARIANTS]
+    if bad_variants:
+        raise MetricError(
+            f"unknown variant(s) {bad_variants}; known: {list(VARIANTS)}"
+        )
+    if (
+        not isinstance(domain, (list, tuple))
+        or len(domain) != 3
+        or not all(isinstance(d, int) and d > 0 for d in domain)
+    ):
+        raise MetricError(
+            f"config 'domain' must be three positive integers, got {domain!r}"
+        )
+    config = ExperimentConfig(
+        stencils=tuple(stencils),
+        variants=tuple(variants),
+        domain=(domain[0], domain[1], domain[2]),
+        platform_filter=tuple(platforms),
+    )
+    config.platforms()  # validates platform names (raises MetricError)
+    return config
+
 
 @dataclass(frozen=True)
 class FailedPoint:

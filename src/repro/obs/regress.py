@@ -114,6 +114,15 @@ DEFAULT_SPECS: Tuple[MetricSpec, ...] = (
     MetricSpec("gate.batch.points_per_s_100k", "higher", 0.5, floor=1000.0),
     MetricSpec("gate.batch.points_per_s_90", "higher", 0.5, floor=50.0),
     MetricSpec("gate.batch.auto_speedup", "higher", 0.5, floor=1.0),
+    # Serving layer: request RTT through the service must not balloon
+    # (the cold path carries poll latency, hence the wide floor), dedup
+    # answers must stay near-free and complete, and job errors must not
+    # creep into a served session.
+    MetricSpec("gate.serve.rtt_p95_ms", "lower", 0.75, floor=250.0),
+    MetricSpec("gate.serve.dedup_rtt_p95_ms", "lower", 0.75, floor=50.0),
+    MetricSpec("gate.serve.dedup_hits", "equal", 0.0),
+    MetricSpec("span.serve.request.total_s", "lower", 0.75, floor=0.1),
+    MetricSpec("counter.serve.job_errors", "lower", 0.0),
 )
 
 

@@ -1,0 +1,203 @@
+"""Stdlib HTTP client for the study-serving service.
+
+``urllib.request`` only — the client must import cleanly anywhere the
+repro package does (CI runners, the bench harness, user scripts).
+
+The one-call happy path mirrors :func:`repro.harness.run_study`::
+
+    from repro.serve import ServeClient
+
+    client = ServeClient("http://127.0.0.1:8787")
+    study_doc = client.run({"stencils": ["7pt"], "variants": ["array"],
+                            "domain": [512, 512, 512]})
+
+``run`` submits, polls with bounded backoff (honouring ``Retry-After``
+on backpressure by retrying the submission), and returns the parsed
+result document.  Lower-level calls (``submit`` / ``status`` /
+``result_bytes`` / ``cancel``) expose each REST step for tests and for
+clients that manage many jobs at once; ``result_bytes`` exists because
+byte-identity with ``dump_study`` output is part of the service
+contract and worth asserting without a JSON round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+from repro.errors import ServeError
+
+__all__ = ["BackpressureError", "ServeClient"]
+
+#: Poll cadence bounds for :meth:`ServeClient.wait`.
+_POLL_MIN_S = 0.05
+_POLL_MAX_S = 1.0
+
+
+class BackpressureError(ServeError):
+    """The service answered 429; retry after ``retry_after_s``."""
+
+    def __init__(self, message: str, retry_after_s: float) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServeClient:
+    """Thin REST client bound to one server base URL."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ---- transport ---------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> bytes:
+        req = urllib.request.Request(
+            f"{self.base_url}{path}",
+            method=method,
+            data=None if body is None else json.dumps(body).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as exc:
+            payload = exc.read()
+            try:
+                message = json.loads(payload)["error"]
+            except Exception:
+                message = payload.decode(errors="replace") or exc.reason
+            if exc.code == 429:
+                retry_after = float(exc.headers.get("Retry-After") or 1.0)
+                raise BackpressureError(
+                    f"server busy: {message}", retry_after
+                ) from None
+            raise ServeError(
+                f"{method} {path} failed with HTTP {exc.code}: {message}"
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                f"cannot reach study server at {self.base_url}: {exc.reason}"
+            ) from None
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        doc = json.loads(self._request(method, path, body))
+        if not isinstance(doc, dict):
+            raise ServeError(
+                f"{method} {path}: expected a JSON object, "
+                f"got {type(doc).__name__}"
+            )
+        return doc
+
+    # ---- REST steps --------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._json("GET", "/metricz")
+
+    def submit(
+        self,
+        config: Optional[Dict[str, Any]] = None,
+        options: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """POST one study request; returns the job status document.
+
+        Raises :class:`BackpressureError` on 429 — callers decide
+        whether to honour ``Retry-After`` (as :meth:`run` does) or
+        surface the rejection.
+        """
+        body: Dict[str, Any] = {}
+        if config is not None:
+            body["config"] = config
+        if options is not None:
+            body["options"] = options
+        return self._json("POST", "/studies", body)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> Dict[str, Any]:
+        return self._json("GET", "/jobs")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._json("DELETE", f"/jobs/{job_id}")
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """The raw result body — byte-identical to ``dump_study`` output."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        doc = json.loads(self.result_bytes(job_id))
+        assert isinstance(doc, dict)
+        return doc
+
+    # ---- orchestration -----------------------------------------------------
+    def wait(
+        self, job_id: str, timeout_s: float = 120.0
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns its doc.
+
+        Backoff doubles from ``_POLL_MIN_S`` up to ``_POLL_MAX_S`` so a
+        5 ms study costs two polls, not a busy loop, and a long sweep
+        does not hammer the server.
+        """
+        deadline = time.monotonic() + timeout_s
+        delay = _POLL_MIN_S
+        while True:
+            doc = self.status(job_id)
+            if doc["state"] in ("done", "failed", "cancelled"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"job {job_id} still {doc['state']} "
+                    f"after {timeout_s:g}s"
+                )
+            time.sleep(delay)
+            delay = min(_POLL_MAX_S, delay * 2)
+
+    def run(
+        self,
+        config: Optional[Dict[str, Any]] = None,
+        options: Optional[Dict[str, Any]] = None,
+        *,
+        timeout_s: float = 120.0,
+        max_submit_attempts: int = 8,
+    ) -> Dict[str, Any]:
+        """Submit → poll → fetch: the remote ``run_study`` equivalent.
+
+        Honours backpressure by sleeping the advertised ``Retry-After``
+        (capped at the remaining budget) and resubmitting; a job that
+        ends ``failed`` or ``cancelled`` raises with the server's error.
+        """
+        deadline = time.monotonic() + timeout_s
+        for attempt in range(max_submit_attempts):
+            try:
+                job = self.submit(config, options)
+                break
+            except BackpressureError as exc:
+                remaining = deadline - time.monotonic()
+                if attempt == max_submit_attempts - 1 or remaining <= 0:
+                    raise
+                time.sleep(min(exc.retry_after_s, max(0.05, remaining)))
+        final = self.wait(
+            job["job_id"], max(0.1, deadline - time.monotonic())
+        )
+        if final["state"] != "done":
+            raise ServeError(
+                f"job {final['job_id']} ended {final['state']}"
+                + (f": {final.get('error')}" if final.get("error") else "")
+            )
+        return self.result(final["job_id"])

@@ -1,0 +1,353 @@
+"""Job orchestrator: dedup, queueing, micro-batching, worker threads.
+
+The long-lived core of the serving layer.  One orchestrator owns
+
+* a :class:`~repro.serve.store.ResultStore` (the dedup side: a config
+  any earlier job completed is answered with zero simulation),
+* a bounded :class:`~repro.serve.queue.JobQueue` (the backpressure
+  side: a full queue rejects with a ``Retry-After`` estimate), and
+* a small pool of worker *threads* that multiplex every tenant's jobs
+  over one process — per-job cost is analytic math measured in
+  milliseconds (PR 7), so the service is orchestration-bound and
+  threads are the right grain; each job's own sweep may still fan out
+  through the vectorized or process-pool engines via its ``dispatch``
+  option.
+
+Request flow for a clean job: store hit → ``done`` immediately
+(``serve.dedup_hits``); identical config already queued/running →
+the *same* job is returned (``serve.coalesced``), so concurrent
+identical tenants share one execution; otherwise a fresh job enters
+the queue or is rejected with backpressure.
+
+Workers micro-batch: after dequeuing a batchable job, a worker drains
+up to ``batch_window - 1`` more batchable jobs and evaluates all their
+matrix points as ONE vectorized sweep
+(:func:`repro.exec.microbatch_study_points`), so a burst of small
+requests pays the batch engine's per-group setup once.  Jobs with
+per-job resilience options (chaos seeds, pinned dispatch, synthetic
+service time) run solo through :func:`repro.harness.run_study`, which
+gives them the full retry/timeout/degradation machinery — a
+fault-injected job degrades into ``FailedPoint`` entries without
+wedging the queue.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.dsl.shapes import by_name
+from repro.errors import ServeError
+from repro.exec import TaskFailure, microbatch_study_points, study_item_key
+from repro.harness.experiments import (
+    ExperimentConfig,
+    FailedPoint,
+    StudyResults,
+    run_study,
+)
+from repro.obs import counter, span
+from repro.serve.jobs import Job, JobOptions
+from repro.serve.queue import JobQueue
+from repro.serve.store import ResultStore
+
+__all__ = ["Orchestrator"]
+
+#: EWMA smoothing for the measured per-job service time (Retry-After).
+_EWMA_ALPHA = 0.3
+
+#: Prior estimate of one job's service time before any measurement.
+_DEFAULT_JOB_S = 2.0
+
+
+class Orchestrator:
+    """Owns the queue, the store, and the worker pool of one service.
+
+    ``workers`` threads drain the queue concurrently; ``batch_window``
+    bounds how many batchable jobs one worker may coalesce into a
+    single vectorized sweep (1 disables micro-batching); ``jobs`` is
+    the per-study worker-process count forwarded to
+    :func:`~repro.harness.run_study` for solo runs.
+
+    ``run_study_fn`` is injectable for tests (a raising stub exercises
+    the ``failed`` path deterministically).
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        *,
+        queue_limit: int = 32,
+        workers: int = 2,
+        batch_window: int = 8,
+        jobs: Optional[int] = None,
+        run_study_fn: Optional[Callable[..., StudyResults]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ServeError(f"need at least one worker, got {workers}")
+        if batch_window < 1:
+            raise ServeError(f"batch window must be >= 1, got {batch_window}")
+        self.store = store if store is not None else ResultStore()
+        self.queue = JobQueue(limit=queue_limit)
+        self.workers = workers
+        self.batch_window = batch_window
+        self.study_jobs = jobs
+        self._run_study = run_study_fn or run_study
+        self._lock = threading.RLock()
+        self._registry: Dict[str, Job] = {}
+        self._inflight: Dict[str, Job] = {}  # config_hash -> queued/running
+        self._threads: List[threading.Thread] = []
+        self._stopping = threading.Event()
+        self._job_ewma_s = _DEFAULT_JOB_S
+        self._running_jobs = 0
+
+    # ---- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        with self._lock:
+            if self._threads:
+                return
+            self._stopping.clear()
+            for i in range(self.workers):
+                t = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"serve-worker-{i}",
+                    daemon=True,
+                )
+                t.start()
+                self._threads.append(t)
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        """Drain-free shutdown: close the queue, join the workers.
+
+        Queued jobs stay queued (their state is still ``queued``; a
+        restart with the same store would re-accept them as fresh
+        submissions); the running ones finish — simulation is seconds,
+        not minutes.
+        """
+        self._stopping.set()
+        self.queue.close()
+        for t in self._threads:
+            t.join(timeout=timeout_s)
+        self._threads = []
+
+    # ---- submission --------------------------------------------------------
+    def submit(
+        self, config: ExperimentConfig, options: Optional[JobOptions] = None
+    ) -> Job:
+        """Accept one study request; returns its (possibly shared) job.
+
+        Raises :class:`QueueFullError` when the queue rejects the
+        submission — the HTTP layer maps it to 429.
+        """
+        options = options or JobOptions()
+        counter("serve.requests").inc()
+        with self._lock:
+            if options.clean:
+                study = self.store.get(config)
+                if study is not None:
+                    job = Job(config=config, options=options)
+                    job.state = "done"
+                    job.dedup = True
+                    job.started_s = job.finished_s = time.time()
+                    job.study = study
+                    self._registry[job.job_id] = job
+                    counter("serve.dedup_hits").inc()
+                    counter("serve.jobs.done").inc()
+                    return job
+                shared = self._inflight.get(self._hash(config))
+                if shared is not None and shared.options.clean:
+                    counter("serve.coalesced").inc()
+                    return shared
+            job = Job(config=config, options=options)
+            self.queue.put(job, retry_after_s=self.retry_after_s())
+            self._registry[job.job_id] = job
+            if options.clean:
+                self._inflight[job.config_hash] = job
+            counter("serve.jobs.queued").inc()
+            return job
+
+    @staticmethod
+    def _hash(config: ExperimentConfig) -> str:
+        from repro.harness.serialization import study_cache_key
+
+        return study_cache_key(config)
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a still-queued job; running/finished jobs refuse."""
+        with self._lock:
+            job = self.job(job_id)
+            if not self.queue.remove(job):
+                raise ServeError(
+                    f"job {job_id} is {job.state}, not queued; "
+                    f"only queued jobs can be cancelled"
+                )
+            job.transition("cancelled")
+            self._inflight.pop(job.config_hash, None)
+            return job
+
+    # ---- queries -----------------------------------------------------------
+    def job(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._registry.get(job_id)
+        if job is None:
+            raise ServeError(f"no such job: {job_id}")
+        return job
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return sorted(self._registry.values(), key=lambda j: j.job_id)
+
+    def retry_after_s(self) -> float:
+        """Honest backpressure estimate: work ahead / worker throughput."""
+        with self._lock:
+            ahead = len(self.queue) + self._running_jobs
+            per_job = self._job_ewma_s
+        estimate = (ahead + 1) * per_job / max(1, self.workers)
+        return float(min(120.0, max(1.0, math.ceil(estimate))))
+
+    # ---- execution ---------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while not self._stopping.is_set():
+            job = self.queue.get(timeout_s=0.1)
+            if job is None:
+                if self.queue.closed:
+                    return
+                continue
+            batch = [job]
+            if job.options.batchable and self.batch_window > 1:
+                batch += self.queue.drain(
+                    self.batch_window - 1, lambda j: j.options.batchable
+                )
+            try:
+                if len(batch) > 1:
+                    self._run_microbatch(batch)
+                else:
+                    self._run_solo(job)
+            except Exception:  # pragma: no cover - defensive backstop
+                # A worker must survive anything a job throws at it; the
+                # job records below have already been marked failed by
+                # the run helpers, so this is strictly belt-and-braces.
+                continue
+
+    def _finish(self, job: Job, study: Optional[StudyResults],
+                error: Optional[str], t0: float) -> None:
+        """Terminal bookkeeping for one executed job, under the lock."""
+        with self._lock:
+            if study is not None:
+                job.study = study
+                if job.options.clean:
+                    self.store.put(study)  # refuses incomplete studies
+                job.transition("done")
+            else:
+                job.error = error
+                job.transition("failed")
+            self._inflight.pop(job.config_hash, None)
+            elapsed = time.monotonic() - t0
+            self._job_ewma_s = (
+                _EWMA_ALPHA * elapsed + (1.0 - _EWMA_ALPHA) * self._job_ewma_s
+            )
+
+    def _run_solo(self, job: Job) -> None:
+        """Run one job through the full-featured study harness."""
+        with self._lock:
+            job.transition("running")
+            self._running_jobs += 1
+        t0 = time.monotonic()
+        study: Optional[StudyResults] = None
+        error: Optional[str] = None
+        try:
+            with span(
+                "serve.job", job_id=job.job_id, mode="solo",
+                points=len(job.config.keys()),
+            ):
+                if job.options.sleep_s > 0:
+                    time.sleep(job.options.sleep_s)
+                study = self._run_study(
+                    job.config,
+                    parallel=self.study_jobs,
+                    policy=job.options.policy(),
+                    fault_plan=job.options.fault_plan(job.config),
+                    dispatch=job.options.dispatch,
+                )
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            counter("serve.job_errors").inc()
+        finally:
+            with self._lock:
+                self._running_jobs -= 1
+            self._finish(job, study, error, t0)
+
+    def _run_microbatch(self, batch: List[Job]) -> None:
+        """Evaluate several clean jobs as one vectorized sweep."""
+        with self._lock:
+            for job in batch:
+                job.transition("running")
+            self._running_jobs += len(batch)
+        t0 = time.monotonic()
+        counter("serve.microbatch.jobs").inc(len(batch))
+        try:
+            with span(
+                "serve.microbatch", jobs=len(batch),
+                job_ids=",".join(j.job_id for j in batch),
+            ):
+                groups = [self._study_items(job.config) for job in batch]
+                outcome_groups = microbatch_study_points(groups)
+            for job, items, outcomes in zip(batch, groups, outcome_groups):
+                study = self._assemble(job.config, items, outcomes)
+                self._finish(job, study, None, t0)
+        except Exception as exc:
+            # A batch-wide crash (not a per-point failure — those come
+            # back as TaskFailure records) fails every member.
+            error = f"{type(exc).__name__}: {exc}"
+            counter("serve.job_errors").inc(len(batch))
+            for job in batch:
+                if not job.finished:
+                    self._finish(job, None, error, t0)
+        finally:
+            with self._lock:
+                self._running_jobs -= len(batch)
+
+    @staticmethod
+    def _study_items(config: ExperimentConfig) -> List[Tuple]:
+        """The study-item list ``run_study`` would sweep for ``config``."""
+        platforms = config.platforms()
+        return [
+            (name, by_name(name).build(), platform, variant, config.domain)
+            for name in config.stencils
+            for platform in platforms
+            for variant in config.variants
+        ]
+
+    @staticmethod
+    def _assemble(
+        config: ExperimentConfig,
+        items: Sequence[Tuple],
+        outcomes: Sequence[object],
+    ) -> StudyResults:
+        """Fold batch outcomes into a :class:`StudyResults` (sweep order)."""
+        study = StudyResults(config=config)
+        for item, outcome in zip(items, outcomes):
+            key = study_item_key(item)
+            if isinstance(outcome, TaskFailure):
+                study.failed[key] = FailedPoint(
+                    stencil=key[0],
+                    platform=key[1],
+                    variant=key[2],
+                    error_type=outcome.error_type,
+                    message=outcome.message,
+                    attempts=outcome.attempts,
+                    timed_out=outcome.timed_out,
+                )
+            else:
+                study.results[key] = outcome  # type: ignore[assignment]
+        study.results = {
+            key: study.results[key]
+            for key in config.keys()
+            if key in study.results
+        }
+        counter("study.points").inc(len(study.results))
+        if study.failed:
+            counter("exec.failed_points").inc(len(study.failed))
+        return study

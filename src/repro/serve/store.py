@@ -1,0 +1,89 @@
+"""Shared result store: the persistent study cache, promoted.
+
+PR 2's on-disk study cache (:mod:`repro.harness.serialization`) already
+keys complete :class:`StudyResults` by a content hash of the sweep
+configuration — exactly the dedup identity a multi-tenant service
+needs.  This module promotes it to a *shared* store: a thread-safe
+in-memory map fronting the same pickle files, so
+
+* a request for a config any earlier job completed is served with zero
+  ``simulate`` calls (the acceptance contract of the serving PR);
+* a service restart warm-starts from whatever the CLI or a previous
+  server process left in the cache directory (and vice versa — results
+  computed by the service are visible to ``repro-stencil --cache-dir``
+  runs).
+
+Only *complete* studies enter the store: a degraded result (failed
+points) must never be dedup-served to a tenant who would have retried,
+and chaos-job results never reach here at all (see
+:attr:`~repro.serve.jobs.JobOptions.clean`).
+
+Traffic is counted as ``serve.store.hits`` / ``serve.store.misses``
+(memory) and ``serve.store.disk_hits`` (warm-start promotions).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro.harness.experiments import ExperimentConfig, StudyResults
+from repro.harness.serialization import (
+    load_study_cache,
+    save_study_cache,
+    study_cache_key,
+)
+from repro.obs import counter
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Config-hash-keyed map of completed studies, optionally persistent.
+
+    ``cache_dir=None`` keeps the store purely in-memory (tests, or a
+    deliberately stateless server); otherwise it reads and writes the
+    same ``study-<hash>.pkl`` entries as the CLI's ``--cache-dir``.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.cache_dir = cache_dir or None
+        self._lock = threading.RLock()
+        self._memory: Dict[str, StudyResults] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def get(self, config: ExperimentConfig) -> Optional[StudyResults]:
+        """The stored complete study for ``config``, or ``None``.
+
+        Memory first; on a miss, the disk cache is consulted and a hit
+        is promoted into memory (counted as ``serve.store.disk_hits``).
+        """
+        key = study_cache_key(config)
+        with self._lock:
+            study = self._memory.get(key)
+            if study is not None:
+                counter("serve.store.hits").inc()
+                return study
+            if self.cache_dir:
+                study = load_study_cache(config, self.cache_dir)
+                if study is not None and study.complete:
+                    self._memory[key] = study
+                    counter("serve.store.hits").inc()
+                    counter("serve.store.disk_hits").inc()
+                    return study
+            counter("serve.store.misses").inc()
+            return None
+
+    def put(self, study: StudyResults) -> bool:
+        """Store a *complete* study; incomplete ones are refused (False)."""
+        if not study.complete:
+            return False
+        key = study_cache_key(study.config)
+        with self._lock:
+            self._memory[key] = study
+            if self.cache_dir:
+                save_study_cache(study, self.cache_dir)
+        return True
