@@ -266,7 +266,7 @@ def _obs(args) -> int:
 #: "same config" grouping ignores where the trace or warehouse lives.
 _NONCONFIG_ARGS = frozenset(
     {"func", "obs_func", "command", "obs_command", "trace", "trace_format",
-     "telemetry_db"}
+     "telemetry_db", "journal", "drain_timeout"}
 )
 
 
@@ -440,6 +440,11 @@ def _serve(args) -> int:
         workers=args.workers,
         batch_window=args.batch_window,
         jobs=args.jobs,
+        journal=args.journal,
+        backend=args.backend,
+        job_deadline_s=args.job_deadline,
+        max_crashes=args.max_crashes,
+        checkpoint_every=args.checkpoint_every,
     )
     server = StudyServer((args.host, args.port), orchestrator)
 
@@ -452,20 +457,29 @@ def _serve(args) -> int:
     orchestrator.start()
     print(
         f"serving on http://{args.host}:{server.port}  "
-        f"(workers={args.workers}, queue-limit={args.queue_limit}, "
+        f"(workers={args.workers}, backend={args.backend}, "
+        f"queue-limit={args.queue_limit}, "
         f"batch-window={args.batch_window}, "
-        f"cache={cache_dir or 'memory-only'})",
+        f"cache={cache_dir or 'memory-only'}, "
+        f"journal={args.journal or 'none'})",
         flush=True,
     )
     try:
         server.serve_forever(poll_interval=0.2)
     except KeyboardInterrupt:
-        print("shutting down", flush=True)
+        # Graceful drain (the SIGTERM contract): running jobs get up to
+        # --drain-timeout to finish and journal their outcomes; whatever
+        # is still queued stays journaled ``queued`` for the next start.
+        print(
+            f"shutting down (draining up to {args.drain_timeout:g}s)",
+            flush=True,
+        )
     finally:
         if previous is not None:
             signal.signal(signal.SIGTERM, previous)
         server.server_close()
-        orchestrator.stop()
+        orchestrator.stop(timeout_s=args.drain_timeout)
+        orchestrator.close()
     return 0
 
 
@@ -818,6 +832,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-window", type=int, default=8, metavar="N",
         help="max clean jobs fused into one vectorized micro-batch "
         "(1 disables micro-batching; default 8)",
+    )
+    p.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="durable SQLite job journal; on startup the journal is "
+        "replayed — queued jobs re-enqueue FIFO-stable, running jobs "
+        "resume from their study checkpoints (default: no journal)",
+    )
+    p.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="job execution backend: 'thread' multiplexes jobs over "
+        "this process, 'process' runs each job in a supervised worker "
+        "process with heartbeats, deadline kills, and poison-job "
+        "quarantine (default thread)",
+    )
+    p.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="S",
+        help="on SIGTERM/Ctrl-C, let running jobs finish for up to this "
+        "many seconds before exiting; the rest stay journaled for the "
+        "next start (default 10)",
+    )
+    p.add_argument(
+        "--job-deadline", type=float, default=None, metavar="S",
+        help="process backend only: kill a worker whose job exceeds "
+        "this many seconds (default: no deadline)",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="checkpoint clean solo jobs every N completed points "
+        "(default: the study harness's interval)",
+    )
+    p.add_argument(
+        "--max-crashes", type=int, default=2, metavar="N",
+        help="quarantine a job as poison after it crashes its worker "
+        "(or rides through server restarts) this many times (default 2)",
     )
     p.set_defaults(func=_serve)
 

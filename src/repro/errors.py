@@ -63,6 +63,28 @@ class ServeError(ReproError):
     """
 
 
+class JournalError(ServeError):
+    """The durable job journal was misused or its schema is incompatible.
+
+    Raised by :mod:`repro.serve.journal` for schema-version mismatches
+    (a journal written by an incompatible build must be rejected loudly,
+    never silently replayed) and malformed journal rows.
+    """
+
+
+class WorkerCrashError(ServeError):
+    """A supervised worker process died while executing a job.
+
+    Carries the crash context (exit code / signal and the last known
+    phase) so the orchestrator can decide between re-enqueueing the job
+    and quarantining it as poison after repeated crashes.
+    """
+
+    def __init__(self, message: str, exit_code: "int | None" = None) -> None:
+        super().__init__(message)
+        self.exit_code = exit_code
+
+
 class QueueFullError(ServeError):
     """The service's bounded job queue rejected a submission.
 

@@ -22,7 +22,13 @@ from repro.exec.dispatch import (
     observed_cost,
     record_cost,
 )
-from repro.exec.pool import JOBS_ENV, parallel_map, resolve_jobs
+from repro.exec.pool import (
+    JOBS_ENV,
+    capture_counters,
+    merge_observations,
+    parallel_map,
+    resolve_jobs,
+)
 from repro.exec.workers import (
     StudyItem,
     evaluate_candidate,
@@ -43,10 +49,12 @@ __all__ = [
     "StudyItem",
     "TaskFailure",
     "break_even_points",
+    "capture_counters",
     "choose_dispatch",
     "clear_cost_model",
     "evaluate_candidate",
     "map_study_points",
+    "merge_observations",
     "microbatch_study_points",
     "observed_cost",
     "parallel_map",

@@ -42,7 +42,13 @@ from repro.resilience.policy import (
     run_with_policy,
 )
 
-__all__ = ["JOBS_ENV", "resolve_jobs", "parallel_map"]
+__all__ = [
+    "JOBS_ENV",
+    "capture_counters",
+    "merge_observations",
+    "parallel_map",
+    "resolve_jobs",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -92,8 +98,13 @@ def _chunk_bounds(n: int, nchunks: int) -> List[Tuple[int, int]]:
     return bounds
 
 
-def _capture_counters(registry: obs.MetricsRegistry) -> Dict[str, int]:
-    """Counter name -> value for every counter in ``registry``."""
+def capture_counters(registry: obs.MetricsRegistry) -> Dict[str, int]:
+    """Counter name -> value for every counter in ``registry``.
+
+    Public because every worker-side execution venue (this pool's
+    chunks, the serving layer's supervised worker processes) captures
+    its observations the same way before shipping them to the parent.
+    """
     return {
         name: registry.get(name).value
         for name in registry.names()
@@ -150,7 +161,7 @@ def _run_chunk(
     registry = obs.set_registry(obs.MetricsRegistry())
     tracer = obs.set_tracer(obs.Tracer(enabled=trace))
     results = [_run_one(fn, item, policy, capture) for item in items]
-    counters = _capture_counters(registry)
+    counters = capture_counters(registry)
     spans = (
         [span_to_dict(s) for root in tracer.roots() for s in root.walk()]
         if trace
@@ -159,10 +170,14 @@ def _run_chunk(
     return results, counters, spans
 
 
-def _merge_observations(
+def merge_observations(
     counters: Dict[str, int], span_dicts: List[Dict[str, Any]]
 ) -> None:
-    """Fold one worker chunk's counters and spans into the parent."""
+    """Fold one worker's counters and spans into the parent.
+
+    Counterpart of :func:`capture_counters` (plus span dicts); shared by
+    the pool's chunk merge and the serving supervisor's job replies.
+    """
     for name, value in counters.items():
         if value:
             obs.counter(name).inc(value)
@@ -324,7 +339,7 @@ def parallel_map(
             # adopt in a deterministic order.
             for future in futures:
                 chunk_results, counters, span_dicts = future.result()
-                _merge_observations(counters, span_dicts)
+                merge_observations(counters, span_dicts)
                 if on_result is not None:
                     for offset, result in enumerate(chunk_results):
                         on_result(len(results) + offset, result)

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 from repro.errors import MetricError
 from repro.harness.experiments import ExperimentConfig, StudyResults, iter_results
 from repro.harness.reporting import CSV_FIELDS, result_row
+from repro.resilience.locks import FileLock
 
 FORMAT_VERSION = 1
 
@@ -162,19 +163,23 @@ def save_study_cache(study: StudyResults, cache_dir: str) -> str:
     """Persist a study under ``cache_dir``; returns the file path.
 
     The write is atomic (temp file + rename), so a concurrent reader
-    sees either the old entry or the new one, never a torn pickle.
+    sees either the old entry or the new one, never a torn pickle; the
+    sidecar :class:`FileLock` additionally serialises concurrent
+    *writers* (two service replicas completing the same config), so
+    replicas sharing one cache directory never interleave.
     """
     os.makedirs(cache_dir, exist_ok=True)
     path = study_cache_path(cache_dir, study.config)
     blob = {"schema_version": SCHEMA_VERSION, "study": study}
     tmp = f"{path}.tmp.{os.getpid()}"
-    try:
-        with open(tmp, "wb") as f:
-            pickle.dump(blob, f, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
-    finally:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
+    with FileLock(f"{path}.lock"):
+        try:
+            with open(tmp, "wb") as f:
+                pickle.dump(blob, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
     return path
 
 
@@ -223,22 +228,33 @@ def study_checkpoint_path(cache_dir: str, config: ExperimentConfig) -> str:
 def save_study_checkpoint(
     config: ExperimentConfig, results: Dict, cache_dir: str
 ) -> str:
-    """Atomically persist the completed slice of one sweep."""
+    """Atomically persist the completed slice of one sweep.
+
+    The flush is a read-merge-write under the sidecar lock: whatever a
+    concurrent process (another service replica, a parallel CLI run on
+    the same cache) already checkpointed for this config is folded in
+    before writing, with this caller's points winning ties.  Without the
+    merge, last-writer-wins could *regress* a checkpoint — replica A
+    flushes 40 points, replica B then replaces them with its own 8.
+    """
     os.makedirs(cache_dir, exist_ok=True)
     path = study_checkpoint_path(cache_dir, config)
-    blob = {
-        "schema_version": SCHEMA_VERSION,
-        "config": config,
-        "results": dict(results),
-    }
     tmp = f"{path}.tmp.{os.getpid()}"
-    try:
-        with open(tmp, "wb") as f:
-            pickle.dump(blob, f, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
-    finally:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
+    with FileLock(f"{path}.lock"):
+        existing = load_study_checkpoint(config, cache_dir) or {}
+        merged = {**existing, **dict(results)}
+        blob = {
+            "schema_version": SCHEMA_VERSION,
+            "config": config,
+            "results": merged,
+        }
+        try:
+            with open(tmp, "wb") as f:
+                pickle.dump(blob, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
     return path
 
 

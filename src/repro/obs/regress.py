@@ -123,6 +123,14 @@ DEFAULT_SPECS: Tuple[MetricSpec, ...] = (
     MetricSpec("gate.serve.dedup_hits", "equal", 0.0),
     MetricSpec("span.serve.request.total_s", "lower", 0.75, floor=0.1),
     MetricSpec("counter.serve.job_errors", "lower", 0.0),
+    # Crash-safe serving: the chaos drill's deterministic sessions must
+    # replay/kill/quarantine exactly the same jobs every time, and a
+    # recovered ``done`` job must never lose its result across restarts.
+    MetricSpec("counter.serve.recovery.replayed_jobs", "equal", 0.0),
+    MetricSpec("counter.serve.recovery.lost_results", "lower", 0.0),
+    MetricSpec("counter.serve.recovery.unrecoverable", "lower", 0.0),
+    MetricSpec("counter.serve.supervisor.deadline_kills", "equal", 0.0),
+    MetricSpec("counter.serve.supervisor.quarantined", "equal", 0.0),
 )
 
 

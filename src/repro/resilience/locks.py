@@ -1,0 +1,186 @@
+"""Cross-process file locks for coordination-safe cache writes.
+
+Two service replicas pointed at one ``--cache-dir`` (the shared-dedup
+deployment the serving layer is built for) both write ``study-*.pkl``
+and ``study-*.ckpt.pkl`` entries.  Each individual write is already
+atomic (temp file + ``os.replace``), but atomicity alone is not
+coordination: two replicas checkpointing the same sweep replace each
+other's progress wholesale, and last-writer-wins can *regress* a
+checkpoint (replica A flushes 40 points, replica B then flushes its own
+8).  The fix is a short critical section around read-merge-write, which
+needs a mutual-exclusion primitive that works across processes and
+hosts sharing one filesystem.
+
+:class:`FileLock` is the stdlib-only classic: ``O_CREAT | O_EXCL``
+creation of a sidecar ``<path>.lock`` file is atomic on POSIX and NFS,
+so exactly one process wins.  Liveness comes from two escape hatches:
+
+* **stale-lock breaking** — the lock file records the owner's pid and
+  wall-clock stamp; a lock older than ``stale_s``, or owned by a pid
+  that no longer exists on this host, is broken (counted as
+  ``locks.stale_broken``) instead of waited on, so a ``kill -9``'d
+  owner cannot wedge every surviving replica;
+* **steal-on-timeout** — cache writes must never fail a job just
+  because a peer is slow, so :meth:`acquire` (with
+  ``steal_on_timeout=True``, the default for the cache paths) takes the
+  lock forcibly after ``timeout_s`` rather than raising; the protected
+  writes are individually atomic, so the worst case of a steal is a
+  redundant write, never a torn pickle.
+
+Contention and breaking are observable: ``locks.acquired``,
+``locks.contended``, ``locks.stale_broken``, ``locks.stolen``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+from repro.errors import ExecutionError
+from repro.obs import counter
+
+__all__ = ["DEFAULT_STALE_S", "FileLock"]
+
+#: Age (seconds) past which an existing lock file is presumed abandoned.
+#: Cache/checkpoint writes hold the lock for milliseconds; thirty
+#: seconds of ownership means the owner died between create and unlink.
+DEFAULT_STALE_S = 30.0
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a pid on *this* host."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True  # exists but owned by someone else
+    return True
+
+
+class FileLock:
+    """An ``O_EXCL`` sidecar-file mutex with stale breaking.
+
+    Usage::
+
+        with FileLock(path + ".lock"):
+            ...read-merge-write...
+
+    Reentrant use by the same instance is a programming error (raises);
+    distinct instances in one process contend like distinct processes.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        stale_s: float = DEFAULT_STALE_S,
+        timeout_s: float = 10.0,
+        poll_s: float = 0.02,
+        steal_on_timeout: bool = True,
+    ) -> None:
+        if stale_s <= 0 or timeout_s < 0 or poll_s <= 0:
+            raise ExecutionError(
+                f"FileLock({path!r}): stale_s/poll_s must be positive and "
+                f"timeout_s non-negative"
+            )
+        self.path = path
+        self.stale_s = stale_s
+        self.timeout_s = timeout_s
+        self.poll_s = poll_s
+        self.steal_on_timeout = steal_on_timeout
+        self._held = False
+
+    # ---- lock-file forensics ----------------------------------------------
+    def _owner(self) -> Optional[tuple]:
+        """(pid, created_at) recorded in the current lock file, or None."""
+        try:
+            with open(self.path) as f:
+                pid_text, stamp_text = f.read().split()
+            return int(pid_text), float(stamp_text)
+        except (OSError, ValueError):
+            return None
+
+    def _is_stale(self) -> bool:
+        """Whether the existing lock may be broken rather than waited on."""
+        owner = self._owner()
+        if owner is None:
+            # Unreadable/empty: either the owner died between create and
+            # write (a crash this module exists to survive) or the file
+            # is mid-write; age decides.
+            try:
+                age = time.time() - os.stat(self.path).st_mtime
+            except OSError:
+                return False  # vanished — owner released; just retry
+            return age > max(1.0, self.poll_s * 10)
+        pid, created = owner
+        if time.time() - created > self.stale_s:
+            return True
+        return not _pid_alive(pid)
+
+    def _break_lock(self) -> None:
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass  # a peer broke it first — the O_EXCL retry still decides
+        counter("locks.stale_broken").inc()
+
+    # ---- acquisition ------------------------------------------------------
+    def _try_create(self) -> bool:
+        try:
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            # Unwritable directory etc.: locking is best-effort for the
+            # cache paths — behave as if acquired so writes still happen.
+            return True
+        try:
+            os.write(fd, f"{os.getpid()} {time.time()}".encode())
+        finally:
+            os.close(fd)
+        return True
+
+    def acquire(self) -> "FileLock":
+        if self._held:
+            raise ExecutionError(f"FileLock({self.path!r}) is not reentrant")
+        deadline = time.monotonic() + self.timeout_s
+        contended = False
+        while not self._try_create():
+            if not contended:
+                contended = True
+                counter("locks.contended").inc()
+            if self._is_stale():
+                self._break_lock()
+                continue
+            if time.monotonic() >= deadline:
+                if not self.steal_on_timeout:
+                    raise ExecutionError(
+                        f"could not acquire {self.path} within "
+                        f"{self.timeout_s:g}s (held by {self._owner()})"
+                    )
+                self._break_lock()
+                counter("locks.stolen").inc()
+                continue
+            time.sleep(self.poll_s)
+        self._held = True
+        counter("locks.acquired").inc()
+        return self
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass  # broken by a peer that (wrongly but safely) saw us stale
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()

@@ -16,6 +16,12 @@ worker pool instead of each paying a cold sweep:
   records without wedging the queue or poisoning the shared store.
 * **Observability** — ``serve.*`` counters, per-request spans, and the
   standard telemetry-warehouse recording on shutdown.
+* **Crash safety** — an optional write-ahead :class:`JobJournal`
+  (SQLite) replayed on startup, supervised worker *processes*
+  (``backend="process"``) with heartbeats/deadline kills/poison
+  quarantine via :class:`Supervisor`, and lockfile-coordinated shared
+  cache writes, so ``kill -9`` mid-sweep loses at most one checkpoint
+  interval.
 
 Embed it (tests, benches) with :func:`start_server`; run it from the
 CLI with ``repro-stencil serve`` and talk to it with
@@ -24,21 +30,28 @@ CLI with ``repro-stencil serve`` and talk to it with
 
 from repro.serve.client import BackpressureError, ServeClient
 from repro.serve.jobs import JOB_STATES, MAX_SLEEP_S, Job, JobOptions
-from repro.serve.orchestrator import Orchestrator
+from repro.serve.journal import JOURNAL_SCHEMA_VERSION, JobJournal, JournalRecord
+from repro.serve.orchestrator import BACKENDS, Orchestrator
 from repro.serve.queue import JobQueue
 from repro.serve.server import StudyServer, start_server
 from repro.serve.store import ResultStore
+from repro.serve.supervisor import Supervisor
 
 __all__ = [
+    "BACKENDS",
     "JOB_STATES",
+    "JOURNAL_SCHEMA_VERSION",
     "MAX_SLEEP_S",
     "BackpressureError",
     "Job",
+    "JobJournal",
     "JobOptions",
     "JobQueue",
+    "JournalRecord",
     "Orchestrator",
     "ResultStore",
     "ServeClient",
     "StudyServer",
+    "Supervisor",
     "start_server",
 ]

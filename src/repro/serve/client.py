@@ -36,6 +36,11 @@ __all__ = ["BackpressureError", "ServeClient"]
 _POLL_MIN_S = 0.05
 _POLL_MAX_S = 1.0
 
+#: Default cap on status polls per :meth:`ServeClient.wait` call.  At
+#: the max poll interval this is minutes of waiting; a job not done by
+#: then deserves an error, not an unbounded GET stream.
+_MAX_POLLS = 600
+
 
 class BackpressureError(ServeError):
     """The service answered 429; retry after ``retry_after_s``."""
@@ -146,17 +151,25 @@ class ServeClient:
 
     # ---- orchestration -----------------------------------------------------
     def wait(
-        self, job_id: str, timeout_s: float = 120.0
+        self,
+        job_id: str,
+        timeout_s: float = 120.0,
+        max_polls: int = _MAX_POLLS,
     ) -> Dict[str, Any]:
         """Poll until the job reaches a terminal state; returns its doc.
 
-        Backoff doubles from ``_POLL_MIN_S`` up to ``_POLL_MAX_S`` so a
-        5 ms study costs two polls, not a busy loop, and a long sweep
-        does not hammer the server.
+        The poll cadence prefers the server's own estimate: every status
+        doc carries a ``poll_after_s`` hint (the ``Retry-After`` analogue
+        for polling), which is honoured clamped to
+        ``[_POLL_MIN_S, _POLL_MAX_S]``.  Against an older server without
+        the hint, backoff doubles from ``_POLL_MIN_S`` up to
+        ``_POLL_MAX_S`` as before.  Total polls are capped at
+        ``max_polls`` so a wedged server ends in an error, never an
+        unbounded GET stream.
         """
         deadline = time.monotonic() + timeout_s
         delay = _POLL_MIN_S
-        while True:
+        for _ in range(max(1, max_polls)):
             doc = self.status(job_id)
             if doc["state"] in ("done", "failed", "cancelled"):
                 return doc
@@ -165,8 +178,14 @@ class ServeClient:
                     f"job {job_id} still {doc['state']} "
                     f"after {timeout_s:g}s"
                 )
+            hint = doc.get("poll_after_s")
+            if isinstance(hint, (int, float)) and hint > 0:
+                delay = min(_POLL_MAX_S, max(_POLL_MIN_S, float(hint)))
             time.sleep(delay)
             delay = min(_POLL_MAX_S, delay * 2)
+        raise ServeError(
+            f"job {job_id} not terminal after {max_polls} status polls"
+        )
 
     def run(
         self,

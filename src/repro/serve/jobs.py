@@ -7,10 +7,14 @@ plus a :class:`JobOptions` bundle carrying the per-job resilience knobs
 direct sweeps.  Jobs move through a strict state machine::
 
     queued ──▶ running ──▶ done
-       │           └─────▶ failed
+       │         │ └─────▶ failed
+       │         └──▶ queued   (worker crashed; job re-enqueued)
        └─────────────────▶ cancelled
 
-Any other transition is a programming error and raises
+The ``running -> queued`` edge exists for the crash paths only: a
+supervised worker process that dies mid-job, or a journal replay that
+finds the job was ``running`` when the server was killed.  Any other
+transition is a programming error and raises
 :class:`~repro.errors.ServeError` — the orchestrator relies on this to
 make races (cancel vs. dequeue, double completion) loud instead of
 silently corrupting a job record.  Every transition bumps a
@@ -44,6 +48,7 @@ __all__ = [
     "MAX_SLEEP_S",
     "Job",
     "JobOptions",
+    "reserve_job_ids",
 ]
 
 #: Every state a job can be in, in lifecycle order.
@@ -52,7 +57,7 @@ JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 #: Legal transitions of the job state machine.
 _ALLOWED: Dict[str, Tuple[str, ...]] = {
     "queued": ("running", "cancelled"),
-    "running": ("done", "failed"),
+    "running": ("done", "failed", "queued"),
     "done": (),
     "failed": (),
     "cancelled": (),
@@ -70,6 +75,18 @@ INJECT_CORRUPT_RATE = 0.03
 _job_ids = itertools.count(1)
 
 
+def reserve_job_ids(minimum: int) -> None:
+    """Advance the id counter so fresh jobs start at ``minimum`` or later.
+
+    Journal replay re-registers jobs under their *original* ids; without
+    reserving those numbers, the next fresh submission would collide
+    with a replayed job's id.
+    """
+    global _job_ids
+    current = next(_job_ids)
+    _job_ids = itertools.count(max(current, minimum))
+
+
 @dataclass(frozen=True)
 class JobOptions:
     """Per-job execution knobs, all optional (``None`` = server default).
@@ -80,7 +97,12 @@ class JobOptions:
     ``--inject-faults`` uses); ``dispatch`` pins the sweep engine; and
     ``sleep_s`` adds synthetic service time — a dev/test knob that makes
     backpressure drills deterministic (a sleeping job occupies a worker
-    for exactly that long before the study runs).
+    for exactly that long before the study runs); and ``drill_exit`` is
+    the poison pill — a process-backend worker running such a job calls
+    ``os._exit(drill_exit)`` instead of simulating, which is how the
+    chaos drill exercises crash-requeue and quarantine (the thread
+    backend fails the job gracefully instead, since a thread cannot be
+    sacrificed).
     """
 
     retries: Optional[int] = None
@@ -88,8 +110,16 @@ class JobOptions:
     inject_faults: Optional[int] = None
     dispatch: Optional[str] = None
     sleep_s: float = 0.0
+    drill_exit: Optional[int] = None
 
-    _FIELDS = ("retries", "task_timeout", "inject_faults", "dispatch", "sleep_s")
+    _FIELDS = (
+        "retries",
+        "task_timeout",
+        "inject_faults",
+        "dispatch",
+        "sleep_s",
+        "drill_exit",
+    )
 
     def __post_init__(self) -> None:
         from repro.exec import DISPATCH_MODES
@@ -110,6 +140,11 @@ class JobOptions:
             raise ServeError(
                 f"task_timeout must be positive, got {self.task_timeout}"
             )
+        if self.drill_exit is not None and not 0 <= self.drill_exit <= 255:
+            raise ServeError(
+                f"drill_exit must be an exit code in [0, 255], "
+                f"got {self.drill_exit}"
+            )
 
     @property
     def clean(self) -> bool:
@@ -117,9 +152,14 @@ class JobOptions:
 
         Only clean jobs are dedup'd and stored: injected faults change
         what the study returns (degraded points), and synthetic service
-        time marks a drill, not a tenant request.
+        time marks a drill, not a tenant request.  ``drill_exit`` —
+        poison-pill chaos — is a drill by definition.
         """
-        return self.inject_faults is None and self.sleep_s == 0.0
+        return (
+            self.inject_faults is None
+            and self.sleep_s == 0.0
+            and self.drill_exit is None
+        )
 
     @property
     def batchable(self) -> bool:
@@ -198,6 +238,8 @@ class Job:
     config_hash: str = ""
     state: str = "queued"
     dedup: bool = False
+    attempts: int = 0
+    note: Optional[str] = None
     created_s: float = field(default_factory=time.time)
     started_s: Optional[float] = None
     finished_s: Optional[float] = None
@@ -232,6 +274,8 @@ class Job:
         now = time.time()
         if new_state == "running":
             self.started_s = now
+        elif new_state == "queued":
+            self.started_s = None  # crash requeue: the next run restarts the clock
         elif new_state in ("done", "failed", "cancelled"):
             self.finished_s = now
         counter(f"serve.jobs.{new_state}").inc()
@@ -249,6 +293,10 @@ class Job:
             "started_s": self.started_s,
             "finished_s": self.finished_s,
         }
+        if self.attempts:
+            doc["attempts"] = self.attempts
+        if self.note is not None:
+            doc["note"] = self.note
         if self.error is not None:
             doc["error"] = self.error
         if self.study is not None:

@@ -54,12 +54,17 @@ class JobQueue:
     def _set_depth_gauge(self) -> None:
         gauge("serve.queue.depth").set(len(self._items))
 
-    def put(self, job: Job, retry_after_s: float = 1.0) -> None:
+    def put(
+        self, job: Job, retry_after_s: float = 1.0, force: bool = False
+    ) -> None:
         """Enqueue ``job`` or reject it with backpressure.
 
         Rejection (a full or closed queue) raises
         :class:`QueueFullError` — the HTTP layer turns it into
-        ``429 Retry-After: <retry_after_s>``.
+        ``429 Retry-After: <retry_after_s>``.  ``force`` bypasses the
+        depth limit (a closed queue still rejects): journal replay must
+        re-admit every job the previous process had already accepted,
+        even when there are more of them than one queue's worth.
         """
         with self._cond:
             if self._closed:
@@ -67,7 +72,7 @@ class JobQueue:
                     "queue is closed (server shutting down)",
                     retry_after_s=retry_after_s,
                 )
-            if len(self._items) >= self.limit:
+            if not force and len(self._items) >= self.limit:
                 counter("serve.rejected").inc()
                 raise QueueFullError(
                     f"job queue is full ({self.limit} queued)",

@@ -75,6 +75,17 @@ class ServeHandler(BaseHTTPRequestHandler):
     server: "StudyServer"
     protocol_version = "HTTP/1.1"
 
+    def _status_doc(self, job: Job) -> Dict[str, Any]:
+        """A job's status doc plus the ``poll_after_s`` backoff hint.
+
+        The hint is the server's honest estimate of when polling again
+        could possibly observe progress; :class:`ServeClient.wait`
+        honours it instead of blind exponential backoff.
+        """
+        doc = job.status_dict()
+        doc["poll_after_s"] = self.server.orchestrator.poll_hint_s(job)
+        return doc
+
     # ---- plumbing ----------------------------------------------------------
     def log_message(self, format: str, *args: Any) -> None:
         # Route access logs through a counter instead of stderr noise;
@@ -159,7 +170,7 @@ class ServeHandler(BaseHTTPRequestHandler):
                     {"Retry-After": str(int(exc.retry_after_s))},
                 )
                 return
-            self._send_json(200 if job.dedup else 202, job.status_dict())
+            self._send_json(200 if job.dedup else 202, self._status_doc(job))
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         with span("serve.request", method="GET", path=self.path):
@@ -172,6 +183,8 @@ class ServeHandler(BaseHTTPRequestHandler):
                         "queue_depth": len(orch.queue),
                         "jobs": len(orch.jobs()),
                         "store_entries": len(orch.store),
+                        "backend": orch.backend,
+                        "journal": getattr(orch.journal, "path", None),
                     },
                 )
                 return
@@ -185,7 +198,7 @@ class ServeHandler(BaseHTTPRequestHandler):
                     200,
                     {
                         "jobs": [
-                            j.status_dict()
+                            self._status_doc(j)
                             for j in self.server.orchestrator.jobs()
                         ]
                     },
@@ -202,7 +215,7 @@ class ServeHandler(BaseHTTPRequestHandler):
                 self._error(404, str(exc))
                 return
             if not want_result:
-                self._send_json(200, job.status_dict())
+                self._send_json(200, self._status_doc(job))
                 return
             if job.state != "done":
                 self._error(
@@ -251,10 +264,11 @@ class StudyServer(ThreadingHTTPServer):
         """Start orchestrator workers (the HTTP loop runs via serve())."""
         self.orchestrator.start()
 
-    def shutdown_all(self) -> None:
-        """Stop accepting requests, then stop the worker pool."""
+    def shutdown_all(self, drain_timeout_s: float = 10.0) -> None:
+        """Stop accepting requests, drain the workers, close the journal."""
         self.shutdown()
-        self.orchestrator.stop()
+        self.orchestrator.stop(timeout_s=drain_timeout_s)
+        self.orchestrator.close()
 
 
 def start_server(

@@ -60,6 +60,12 @@ class ResultStore:
 
         Memory first; on a miss, the disk cache is consulted and a hit
         is promoted into memory (counted as ``serve.store.disk_hits``).
+        The disk read happens *outside* the lock — an unpickle can take
+        milliseconds and must not block every other tenant's lookup —
+        so two threads missing on the same key may both load the file;
+        :meth:`_promote` makes the insert idempotent (first one wins,
+        the loser's copy is discarded and counted as
+        ``serve.store.promote_races``).
         """
         key = study_cache_key(config)
         with self._lock:
@@ -67,15 +73,30 @@ class ResultStore:
             if study is not None:
                 counter("serve.store.hits").inc()
                 return study
-            if self.cache_dir:
-                study = load_study_cache(config, self.cache_dir)
-                if study is not None and study.complete:
-                    self._memory[key] = study
-                    counter("serve.store.hits").inc()
-                    counter("serve.store.disk_hits").inc()
-                    return study
-            counter("serve.store.misses").inc()
-            return None
+        if self.cache_dir:
+            study = load_study_cache(config, self.cache_dir)
+            if study is not None and study.complete:
+                study = self._promote(key, study)
+                counter("serve.store.hits").inc()
+                counter("serve.store.disk_hits").inc()
+                return study
+        counter("serve.store.misses").inc()
+        return None
+
+    def _promote(self, key: str, study: StudyResults) -> StudyResults:
+        """Idempotently insert a disk-loaded study; existing entry wins.
+
+        Both racers return the *same* object (whichever promotion won),
+        so identity-based dedup downstream sees one study, not two
+        equal-but-distinct copies.
+        """
+        with self._lock:
+            existing = self._memory.get(key)
+            if existing is not None:
+                counter("serve.store.promote_races").inc()
+                return existing
+            self._memory[key] = study
+            return study
 
     def put(self, study: StudyResults) -> bool:
         """Store a *complete* study; incomplete ones are refused (False)."""

@@ -212,3 +212,57 @@ class TestControlPlane:
         dead = ServeClient("http://127.0.0.1:9", timeout_s=0.5)
         with pytest.raises(ServeError, match="cannot reach"):
             dead.health()
+
+
+class TestWaitBackoff:
+    """Unit-level: ``wait`` honours server poll hints without a server."""
+
+    def make_client(self, docs):
+        """A client whose ``status`` pops canned docs instead of GETting."""
+        client = ServeClient("http://127.0.0.1:9")
+        feed = list(docs)
+        client.status = lambda job_id: feed.pop(0)  # type: ignore[method-assign]
+        return client
+
+    def record_sleeps(self, monkeypatch):
+        from repro.serve import client as client_mod
+
+        sleeps = []
+        monkeypatch.setattr(
+            client_mod.time, "sleep", lambda s: sleeps.append(s)
+        )
+        return sleeps
+
+    def test_server_hint_sets_the_cadence(self, monkeypatch):
+        sleeps = self.record_sleeps(monkeypatch)
+        client = self.make_client([
+            {"state": "queued", "poll_after_s": 0.4},
+            {"state": "running", "poll_after_s": 0.2},
+            {"state": "done"},
+        ])
+        assert client.wait("j00001")["state"] == "done"
+        assert sleeps == [0.4, 0.2]
+
+    def test_hint_is_clamped_to_the_poll_bounds(self, monkeypatch):
+        sleeps = self.record_sleeps(monkeypatch)
+        client = self.make_client([
+            {"state": "queued", "poll_after_s": 30.0},   # server estimate
+            {"state": "queued", "poll_after_s": 0.0001},  # absurdly eager
+            {"state": "done"},
+        ])
+        client.wait("j00001")
+        assert sleeps == [1.0, 0.05]  # [_POLL_MAX_S, _POLL_MIN_S]
+
+    def test_no_hint_falls_back_to_doubling(self, monkeypatch):
+        sleeps = self.record_sleeps(monkeypatch)
+        client = self.make_client(
+            [{"state": "running"}] * 6 + [{"state": "done"}]
+        )
+        client.wait("j00001")
+        assert sleeps == [0.05, 0.1, 0.2, 0.4, 0.8, 1.0]
+
+    def test_max_polls_exhaustion_raises(self, monkeypatch):
+        self.record_sleeps(monkeypatch)
+        client = self.make_client([{"state": "running"}] * 10)
+        with pytest.raises(ServeError, match="not terminal after 5"):
+            client.wait("j00001", max_polls=5)

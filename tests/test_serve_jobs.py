@@ -121,7 +121,7 @@ class TestJobLifecycle:
             ("done",),  # queued -> done skips running
             ("failed",),  # queued -> failed skips running
             ("running", "cancelled"),  # running jobs cannot cancel
-            ("running", "queued"),  # no going back
+            ("queued", ),  # re-queueing a queued job is meaningless
             ("running", "done", "running"),  # terminal states are final
             ("running", "done", "failed"),
         ],
@@ -131,6 +131,19 @@ class TestJobLifecycle:
         with pytest.raises(ServeError, match="illegal transition"):
             for state in path:
                 job.transition(state)
+
+    def test_crash_requeue_edge_resets_the_clock(self):
+        # running -> queued is the crash-recovery edge: a job whose
+        # worker died goes back to the queue with its start time wiped.
+        job = Job(config=SMALL, options=JobOptions())
+        job.transition("running")
+        assert job.started_s is not None
+        job.transition("queued")
+        assert job.state == "queued"
+        assert job.started_s is None
+        job.transition("running")
+        job.transition("done")
+        assert job.finished
 
     def test_unknown_state_raises(self):
         job = Job(config=SMALL, options=JobOptions())
@@ -241,6 +254,43 @@ class TestResultStore:
         ResultStore(cache_dir=str(tmp_path)).put(study)
         again = ResultStore(cache_dir=str(tmp_path)).get(SMALL)
         assert again is not None and again.results == study.results
+
+    def test_promote_race_is_idempotent(self, tmp_path, registry, monkeypatch):
+        """Two threads disk-missing the same key promote exactly once."""
+        import threading
+
+        from repro.serve import store as store_mod
+
+        harness.save_study_cache(harness.run_study(SMALL), str(tmp_path))
+        store = ResultStore(cache_dir=str(tmp_path))
+
+        barrier = threading.Barrier(2, timeout=10.0)
+        real_load = store_mod.load_study_cache
+
+        def synchronized_load(config, cache_dir):
+            study = real_load(config, cache_dir)
+            barrier.wait()  # both threads hold a loaded copy before promoting
+            return study
+
+        monkeypatch.setattr(store_mod, "load_study_cache", synchronized_load)
+        results = [None, None]
+
+        def get(n):
+            results[n] = store.get(SMALL)
+
+        threads = [
+            threading.Thread(target=get, args=(n,)) for n in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Both racers got the same object — the winning promotion — and
+        # the loser's copy was discarded and counted.
+        assert results[0] is not None
+        assert results[0] is results[1]
+        assert registry.counter("serve.store.promote_races").value == 1
+        assert registry.counter("serve.store.disk_hits").value == 2
 
 
 class TestOrchestrator:
