@@ -732,6 +732,28 @@ def record_telemetry(
         failures.append(f"telemetry recording failed: {exc}")
 
 
+def record_results(db_path: str, doc: dict, failures: list) -> None:
+    """Append this run's gate values to the SQLite result store.
+
+    Complements :func:`record_telemetry`: the result store keeps gate
+    *values* as queryable rows (``bench_runs`` / ``bench_gates``), so
+    perf history lives next to the study rows ``repro-stencil report``
+    renders from.  A store failure is a recording failure, not a perf
+    regression — reported, and it fails the run like any other gate.
+    """
+    from repro.errors import ResultStoreError
+    from repro.results import ResultsStore
+
+    try:
+        with ResultsStore(db_path) as store:
+            bench_id = store.ingest_gates(
+                _gate_results(doc), source="bench_smoke", doc=doc
+            )
+        print(f"results: bench run {bench_id} appended to {db_path}")
+    except (OSError, ResultStoreError) as exc:
+        failures.append(f"result-store recording failed: {exc}")
+
+
 def _run_gate(name: str, failures: list, fn, *args) -> None:
     """Run one gate; a crash prints the span tree and fails the run."""
     try:
@@ -778,6 +800,11 @@ def main(argv=None) -> int:
         "telemetry warehouse and print the cross-run obs diff verdict "
         "(default: $REPRO_TELEMETRY_DB or off)",
     )
+    parser.add_argument(
+        "--results-db", default=None, metavar="PATH",
+        help="append the run's gate values to this SQLite result store "
+        "(default: $REPRO_RESULTS_DB or off)",
+    )
     args = parser.parse_args(argv)
 
     # Every simulate() in the gates asserts the physical-sanity
@@ -816,6 +843,12 @@ def main(argv=None) -> int:
         record_telemetry(
             telemetry_db, doc, failures, time.perf_counter() - t_start
         )
+
+    from repro.results import resolve_results_db
+
+    results_db = resolve_results_db(args.results_db)
+    if results_db:
+        record_results(results_db, doc, failures)
 
     if failures:
         print("\nPERFORMANCE GATE FAILED:")

@@ -11,6 +11,8 @@ Installed as the ``repro-stencil`` console script::
     repro-stencil tune --stencil 27pt --arch PVC --model SYCL
     repro-stencil serve --port 8787 --cache-dir
     repro-stencil client run --stencils 7pt --variants array
+    repro-stencil study --results-db results.db
+    repro-stencil report --results-db results.db --out-dir report/
     repro-stencil obs
     repro-stencil obs diff --telemetry-db telemetry.db
     repro-stencil obs trend span.run_study.total_s --telemetry-db telemetry.db
@@ -31,6 +33,14 @@ read-side subcommands query it: ``obs diff`` judges the latest run
 against its rolling same-config baseline (exit 2 on regression), ``obs
 trend METRIC`` plots a measurement's history, and ``obs profile``
 ranks span self-time hotspots (``--flamegraph`` writes folded stacks).
+
+Result store (see :mod:`repro.results`): ``--results-db PATH``
+(default ``$REPRO_RESULTS_DB``) appends every completed sweep — one row
+per matrix point, deduplicated by sweep configuration — to the SQLite
+result store at ``PATH``.  ``report`` renders the full reproduction
+artifact (Tables 2–5, Figure 3–7 series, EXPERIMENTS.md, drift vs the
+golden baseline); with ``--results-db`` it renders from the store's
+reconstruction, byte-identical to the direct path.
 
 Sweeps and tuning searches accept ``--jobs N`` (worker processes;
 ``$REPRO_JOBS`` supplies a default, 0 means one per CPU) and the
@@ -116,7 +126,39 @@ def _cached_study(args):
         fault_plan=_fault_plan(args),
         resume=args.resume,
         dispatch=args.dispatch,
+        results_db=args.results_db,
     )
+
+
+def _ingest_study(args, study, source: str) -> int:
+    """Explicitly append ``study`` to the result store, if one is set.
+
+    ``cached_study`` only ingests on a cache miss (the ingest hook
+    lives in ``run_study``); this covers the cache-hit path.  Dedup
+    makes the double call a no-op.  Returns 0, or 1 on store failure —
+    an explicit ``--results-db`` that cannot be honoured is an error,
+    not a warning.
+    """
+    from repro.errors import ResultStoreError
+    from repro.results import ResultsStore, resolve_results_db
+
+    db_path = resolve_results_db(args.results_db)
+    if not db_path:
+        return 0
+    try:
+        with ResultsStore(db_path) as store:
+            outcome = store.ingest_study(study, source=source)
+    except (OSError, ResultStoreError) as exc:
+        print(f"error: cannot ingest into {db_path}: {exc}", file=sys.stderr)
+        return 1
+    verb = "already in" if outcome.dedup else (
+        "replaced degraded study in" if outcome.replaced else "appended to"
+    )
+    print(
+        f"results {verb} {db_path} "
+        f"(study {outcome.study_id}, {outcome.points} points)"
+    )
+    return 0
 
 
 def _study(args) -> int:
@@ -128,7 +170,56 @@ def _study(args) -> int:
     if args.json:
         harness.dump_study(study, args.json)
         print(f"study saved to {args.json}")
+    rc = _ingest_study(args, study, source="cli.study")
     # A degraded sweep still renders, but scripts get a loud signal.
+    return rc if study.complete else 3
+
+
+def _report(args) -> int:
+    """Render the full reproduction artifact (tables/figures/EXPERIMENTS/drift).
+
+    With ``--results-db`` the study is ingested and the artifact is
+    rendered from the store's reconstruction — the path the CI gate
+    diffs byte-for-byte against direct rendering.
+    """
+    from repro.errors import ResultStoreError
+    from repro.results import (
+        DirectProvider,
+        StoreProvider,
+        generate_report,
+        resolve_results_db,
+        write_report,
+    )
+    from repro.validate.golden import DEFAULT_GOLDEN_PATH
+
+    study = _cached_study(args)
+    rc = _ingest_study(args, study, source="cli.report")
+    if rc:
+        return rc
+    db_path = resolve_results_db(args.results_db)
+    try:
+        provider = (
+            StoreProvider(db_path, config=study.config)
+            if db_path else DirectProvider(study)
+        )
+        golden = (
+            None if args.no_golden
+            else (args.golden or DEFAULT_GOLDEN_PATH)
+        )
+        artifacts = generate_report(
+            provider, config=study.config, golden_path=golden
+        )
+    except (OSError, ResultStoreError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.out_dir:
+        paths = write_report(artifacts, args.out_dir)
+        for name in sorted(paths):
+            print(f"{name} written to {paths[name]}")
+    else:
+        for name in sorted(artifacts):
+            print(f"==== {name} ====")
+            print(artifacts[name])
     return 0 if study.complete else 3
 
 
@@ -266,7 +357,7 @@ def _obs(args) -> int:
 #: "same config" grouping ignores where the trace or warehouse lives.
 _NONCONFIG_ARGS = frozenset(
     {"func", "obs_func", "command", "obs_command", "trace", "trace_format",
-     "telemetry_db", "journal", "drain_timeout"}
+     "telemetry_db", "results_db", "journal", "drain_timeout"}
 )
 
 
@@ -435,7 +526,7 @@ def _serve(args) -> int:
 
     cache_dir = args.cache_dir or os.environ.get(harness.CACHE_DIR_ENV) or None
     orchestrator = Orchestrator(
-        ResultStore(cache_dir),
+        ResultStore(cache_dir, results_db=args.results_db),
         queue_limit=args.queue_limit,
         workers=args.workers,
         batch_window=args.batch_window,
@@ -655,6 +746,13 @@ def build_parser() -> argparse.ArgumentParser:
         "to the SQLite warehouse at PATH (default: $REPRO_TELEMETRY_DB or "
         "off); query it with 'obs diff/trend/profile'",
     )
+    common.add_argument(
+        "--results-db", metavar="PATH", default=None,
+        help="append completed sweeps (one row per matrix point, "
+        "deduplicated by sweep configuration) to the SQLite result "
+        "store at PATH (default: $REPRO_RESULTS_DB or off); render "
+        "from it with 'report --results-db'",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("study", help="run the full evaluation sweep",
@@ -662,6 +760,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", help="write raw results to this CSV file")
     p.add_argument("--json", help="save the study to this JSON file")
     p.set_defaults(func=_study)
+
+    p = sub.add_parser(
+        "report",
+        help="render the full reproduction artifact (tables, figures, "
+        "EXPERIMENTS.md, drift vs golden) — from the result store when "
+        "--results-db is set",
+        parents=[common],
+    )
+    p.add_argument(
+        "--out-dir", metavar="DIR", default=None,
+        help="write one file per artifact under DIR instead of stdout",
+    )
+    p.add_argument(
+        "--golden", metavar="FILE", default=None,
+        help="golden baseline for the drift artifact (default: "
+        "tests/golden/study.json)",
+    )
+    p.add_argument(
+        "--no-golden", action="store_true",
+        help="skip the drift-vs-golden artifact",
+    )
+    p.set_defaults(func=_report)
 
     p = sub.add_parser("table", help="regenerate a paper table",
                        parents=[common])

@@ -53,6 +53,15 @@ class ExecutionError(ReproError):
     """Parallel execution engine misuse (bad job count, broken worker)."""
 
 
+class ResultStoreError(ReproError):
+    """The SQLite result store was misused or its schema is incompatible.
+
+    Raised by :mod:`repro.results` for schema-version mismatches (a
+    store written by an incompatible build is rejected loudly, never
+    silently re-interpreted), missing studies, and malformed rows.
+    """
+
+
 class ServeError(ReproError):
     """Study-serving service misuse (bad request, unknown job, bad state).
 

@@ -20,6 +20,7 @@ from repro.harness.experiments import (
     clear_study_cache,
     config_from_dict,
     iter_results,
+    resolve_study,
     run_study,
 )
 from repro.harness.figures import (
@@ -33,7 +34,14 @@ from repro.harness.figures import (
     render_fig4,
     render_fig7,
 )
-from repro.harness.reporting import result_row, summary, to_csv, write_csv
+from repro.harness.reporting import (
+    FIELD_TYPES,
+    coerce_row,
+    result_row,
+    summary,
+    to_csv,
+    write_csv,
+)
 from repro.harness.serialization import (
     CACHE_DIR_ENV,
     SCHEMA_VERSION,
@@ -67,6 +75,7 @@ __all__ = [
     "CACHE_DIR_ENV",
     "CHECKPOINT_EVERY",
     "ExperimentConfig",
+    "FIELD_TYPES",
     "FailedPoint",
     "PortabilityTable",
     "RooflinePanel",
@@ -76,6 +85,7 @@ __all__ = [
     "cached_study",
     "clear_study_cache",
     "clear_study_checkpoint",
+    "coerce_row",
     "config_from_dict",
     "load_csv_rows",
     "load_study_checkpoint",
@@ -101,6 +111,7 @@ __all__ = [
     "study_cache_path",
     "render_table2",
     "render_table4",
+    "resolve_study",
     "result_row",
     "roofline_ascii",
     "run_study",

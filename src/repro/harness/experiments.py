@@ -242,6 +242,34 @@ class StudyResults:
         return len(self.results)
 
 
+def resolve_study(
+    source: "StudyResults | object", config: Optional[ExperimentConfig] = None
+) -> StudyResults:
+    """Accept a :class:`StudyResults` or a data provider.
+
+    The table/figure renderers take either the in-memory study they
+    always took, or anything satisfying the
+    :class:`repro.results.DataProvider` protocol (duck-typed here to
+    keep the harness free of a ``repro.results`` import): an object
+    with a ``study(config)`` method returning a :class:`StudyResults`.
+    """
+    if isinstance(source, StudyResults):
+        return source
+    study_fn = getattr(source, "study", None)
+    if callable(study_fn):
+        study = study_fn(config)
+        if isinstance(study, StudyResults):
+            return study
+        raise MetricError(
+            f"provider {type(source).__name__}.study() returned "
+            f"{type(study).__name__}, expected StudyResults"
+        )
+    raise MetricError(
+        f"cannot render from {type(source).__name__}: expected a "
+        f"StudyResults or a DataProvider with a study() method"
+    )
+
+
 def _resolve_cache_dir(cache_dir: Optional[str]) -> Optional[str]:
     """``None`` falls back to ``$REPRO_CACHE_DIR`` (empty = off)."""
     # Local import: serialization imports this module for StudyResults.
@@ -262,6 +290,7 @@ def run_study(
     resume: bool = False,
     checkpoint_every: int = CHECKPOINT_EVERY,
     dispatch: Optional[str] = None,
+    results_db: Optional[str] = None,
 ) -> StudyResults:
     """Simulate the full matrix; deterministic, a few seconds of work.
 
@@ -293,6 +322,13 @@ def run_study(
       (``study.resumed_points`` counts the skips);
     * ``fault_plan`` injects deterministic faults (tests and the
       ``--inject-faults`` dev flag).
+
+    ``results_db`` (default ``$REPRO_RESULTS_DB``; empty/unset = off)
+    appends the finished study — including its failed points — to the
+    queryable SQLite result store (:mod:`repro.results`).  Ingestion is
+    deduplicated by config hash, so re-running the same sweep is a
+    store no-op; an ingest failure counts ``results.ingest_errors``
+    and never fails the sweep itself.
     """
     from repro.harness import serialization
 
@@ -416,7 +452,32 @@ def run_study(
                 serialization.save_study_checkpoint(
                     config, {**study.results, **study.failed}, cache_dir
                 )
+    _ingest_results(study, results_db, source="run_study")
     return study
+
+
+def _ingest_results(
+    study: StudyResults, results_db: Optional[str], source: str
+) -> None:
+    """Append ``study`` to the SQLite result store, if one is configured.
+
+    Best-effort by design: the store is longitudinal memory, not part
+    of the sweep's correctness contract, so a bad path or locked
+    database counts ``results.ingest_errors`` instead of failing a
+    multi-second sweep after the work is done.
+    """
+    # Local import: repro.results imports this module for StudyResults.
+    from repro.errors import ResultStoreError
+    from repro.results import ResultsStore, resolve_results_db
+
+    path = resolve_results_db(results_db)
+    if not path:
+        return
+    try:
+        with ResultsStore(path) as store:
+            store.ingest_study(study, source=source)
+    except (OSError, ResultStoreError):
+        counter("results.ingest_errors").inc()
 
 
 #: Memoised full-sweep results, keyed on the (hashable) sweep config.
@@ -432,6 +493,7 @@ def cached_study(
     fault_plan: Optional[FaultPlan] = None,
     resume: bool = False,
     dispatch: Optional[str] = None,
+    results_db: Optional[str] = None,
 ) -> StudyResults:
     """Memoised :func:`run_study`: one sweep per config per process.
 
@@ -488,6 +550,7 @@ def cached_study(
                     cache_dir=cache_dir,
                     resume=resume,
                     dispatch=dispatch,
+                    results_db=results_db,
                 )
                 if cache_dir and study.complete:
                     serialization.save_study_cache(study, cache_dir)

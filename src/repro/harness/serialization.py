@@ -26,7 +26,7 @@ from typing import Dict, List, Optional
 
 from repro.errors import MetricError
 from repro.harness.experiments import ExperimentConfig, StudyResults, iter_results
-from repro.harness.reporting import CSV_FIELDS, result_row
+from repro.harness.reporting import CSV_FIELDS, coerce_row, result_row
 from repro.resilience.locks import FileLock
 
 FORMAT_VERSION = 1
@@ -61,8 +61,20 @@ def study_to_dict(study: StudyResults) -> Dict:
 
 
 def dump_study(study: StudyResults, path: str) -> None:
-    with open(path, "w") as f:
-        json.dump(study_to_dict(study), f, indent=1)
+    """Atomically write a study document to ``path``.
+
+    Temp file + ``os.replace`` (the checkpoint pattern): a crash
+    mid-write leaves the previous file intact instead of a truncated
+    JSON body that ``load_rows`` rejects with a confusing parse error.
+    """
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as f:
+            json.dump(study_to_dict(study), f, indent=1)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
 
 
 def load_rows(path: str) -> List[Dict]:
@@ -98,6 +110,15 @@ def load_csv_rows(path: str) -> List[Dict]:
     The header row doubles as the schema stamp: it must match
     ``CSV_FIELDS`` exactly (same names, same order), otherwise the file
     was written by a different schema generation and is rejected.
+
+    Cells come back *typed* (via the shared
+    :data:`~repro.harness.reporting.FIELD_TYPES` map): CSV text like
+    ``"0.0"`` is coerced to ``0.0``, so reloaded rows behave like the
+    rows :func:`~repro.harness.reporting.result_row` produced —
+    arithmetic and truthiness in :func:`compare_rows` work instead of
+    crashing on strings (or treating ``"0.0"`` as truthy).  A cell that
+    cannot be coerced is a corrupt file and raises
+    :class:`~repro.errors.MetricError` naming the row.
     """
     with open(path, newline="") as f:
         reader = csv.reader(f)
@@ -110,7 +131,13 @@ def load_csv_rows(path: str) -> List[Dict]:
                 f"{path}: CSV header {header} does not match schema "
                 f"version {SCHEMA_VERSION} fields {list(CSV_FIELDS)}"
             )
-        return [dict(zip(CSV_FIELDS, row)) for row in reader]
+        rows = []
+        for lineno, raw in enumerate(reader, start=2):
+            try:
+                rows.append(coerce_row(dict(zip(CSV_FIELDS, raw))))
+            except ValueError as exc:
+                raise MetricError(f"{path}:{lineno}: {exc}") from None
+        return rows
 
 
 # ---- persistent on-disk study cache ---------------------------------------
@@ -296,9 +323,22 @@ def compare_rows(old: List[Dict], new: List[Dict], rtol: float = 0.02) -> List[s
     """Regression check: report rows whose time drifted beyond ``rtol``.
 
     Returns human-readable difference descriptions (empty = no drift).
+
+    Rows are keyed by (stencil, platform, variant, **strategy**): a
+    study that carries several codegen strategies per matrix point
+    (tuning sweeps, ablations) compares every row rather than silently
+    shadowing all but the last one under a too-coarse key.  Times are
+    coerced to floats, so the comparison works on raw
+    :func:`load_csv_rows` output and hand-built string rows alike.  A
+    zero-time baseline row is *reported*, not skipped: relative drift
+    is undefined there, and a baseline of 0 ms is itself a fact the
+    regression check must surface.
     """
     def key(row):
-        return (row["stencil"], row["platform"], row["variant"])
+        return (
+            row["stencil"], row["platform"], row["variant"],
+            row.get("strategy", ""),
+        )
 
     old_map = {key(r): r for r in old}
     new_map = {key(r): r for r in new}
@@ -310,7 +350,15 @@ def compare_rows(old: List[Dict], new: List[Dict], rtol: float = 0.02) -> List[s
         if k not in new_map:
             diffs.append(f"{k}: missing from new run")
             continue
-        t0, t1 = old_map[k]["time_ms"], new_map[k]["time_ms"]
-        if t0 and abs(t1 - t0) / t0 > rtol:
+        t0 = float(old_map[k]["time_ms"])
+        t1 = float(new_map[k]["time_ms"])
+        if t0 == 0.0:
+            if t1 != 0.0:
+                diffs.append(
+                    f"{k}: baseline time is 0 ms (relative drift "
+                    f"undefined); new time {t1} ms"
+                )
+            continue
+        if abs(t1 - t0) / t0 > rtol:
             diffs.append(f"{k}: time {t0} ms -> {t1} ms")
     return diffs

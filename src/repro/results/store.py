@@ -1,0 +1,606 @@
+"""Schema-versioned SQLite result store: every study, queryable.
+
+The pipeline used to persist studies three different ways — ad-hoc JSON
+(``dump_study``), ad-hoc CSV (``write_csv``), and pickled blobs (the
+study cache) — and nothing could answer a question across runs.  The
+:class:`ResultsStore` replaces all three as the *source of truth* (the
+pickle cache remains exactly that: a cache): a schema-versioned SQLite
+database (stdlib ``sqlite3``, following the
+:class:`~repro.obs.store.TelemetryStore` pattern) holding one row per
+matrix point, appendable across runs and deduplicated by
+:func:`~repro.harness.serialization.study_cache_key`.
+
+Tables:
+
+* **studies** — one row per ingested sweep configuration: config hash +
+  row-schema version (the dedup identity), the full configuration
+  (stencils/variants/domain/platform filter, JSON), completeness,
+  provenance (source + git revision + UTC stamp);
+* **points** — one row per successful matrix point, wide enough to
+  reconstruct the full :class:`~repro.gpu.simulator.SimulationResult`
+  *without pickle*: identity columns plus every
+  :class:`~repro.gpu.traffic.Traffic`,
+  :class:`~repro.gpu.timing.TimingBreakdown`, and
+  :class:`~repro.codegen.cost.ProgramCost` field (floats round-trip
+  exactly through SQLite REAL, which is IEEE-754 double);
+* **failures** — the study's :class:`~repro.harness.experiments.FailedPoint`
+  entries, so a degraded sweep reconstructs degraded;
+* **bench_runs** / **bench_gates** — ``scripts/bench_smoke.py`` gate
+  values as rows (the numbers ``BENCH_*.json`` holds), so perf history
+  lives in the same store the report generator reads.
+
+Column affinities for the flat row view derive from the shared
+:data:`~repro.harness.reporting.FIELD_TYPES` map — the same map the CSV
+loader coerces through, so "what type is this field" has one answer.
+
+Schema evolution is deliberate: the version lives in ``PRAGMA
+user_version`` and a mismatch is rejected loudly — silently reading
+rows written by an incompatible generation would corrupt every
+comparison built on top.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import sqlite3
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.codegen.cost import ProgramCost
+from repro.errors import ResultStoreError
+from repro.gpu.progmodel import Platform, platform
+from repro.gpu.simulator import SimulationResult
+from repro.gpu.timing import TimingBreakdown
+from repro.gpu.traffic import Traffic
+from repro.harness.experiments import (
+    ExperimentConfig,
+    FailedPoint,
+    StudyResults,
+)
+from repro.harness.reporting import FIELD_TYPES
+from repro.harness.serialization import SCHEMA_VERSION, study_cache_key
+from repro.obs import counter
+from repro.obs.store import git_state
+
+__all__ = [
+    "RESULTS_DB_ENV",
+    "RESULTS_SCHEMA_VERSION",
+    "IngestOutcome",
+    "ResultsStore",
+    "StudyRecord",
+    "resolve_results_db",
+]
+
+#: Version of the result-store schema.  Bump whenever a table or column
+#: changes meaning; old databases are rejected, never silently migrated.
+RESULTS_SCHEMA_VERSION = 1
+
+#: Environment variable supplying a database path when no explicit one
+#: is given (empty/unset = the store is off).
+RESULTS_DB_ENV = "REPRO_RESULTS_DB"
+
+#: Component dataclass fields persisted per point, in column order.
+#: Kept in lockstep with the dataclasses by the asserts below: a field
+#: added to the model without a schema bump fails at import, not at
+#: read time with silently-wrong reconstructions.
+TRAFFIC_FIELDS: Tuple[str, ...] = (
+    "hbm_read_bytes", "hbm_write_bytes", "l1_bytes",
+    "load_sectors", "store_sectors", "reuse_miss_bytes",
+)
+TIMING_FIELDS: Tuple[str, ...] = (
+    "t_hbm", "t_l1", "t_fp", "t_shuffle", "t_issue",
+    "launch_overhead", "occupancy",
+)
+COST_FIELDS: Tuple[str, ...] = (
+    "tile_points", "vl", "loads_aligned", "loads_halo", "loads_unaligned",
+    "shuffles", "adds", "macs", "stores", "registers", "halo_lanes",
+)
+
+for _cls, _fields in (
+    (Traffic, TRAFFIC_FIELDS),
+    (TimingBreakdown, TIMING_FIELDS),
+    (ProgramCost, COST_FIELDS),
+):
+    assert tuple(f.name for f in dataclasses.fields(_cls)) == _fields, (
+        f"{_cls.__name__} fields drifted from the result-store schema; "
+        f"bump RESULTS_SCHEMA_VERSION and update the column list"
+    )
+
+
+def _columns(fields: Tuple[str, ...], affinity: str) -> str:
+    return ",\n    ".join(f"{name} {affinity} NOT NULL" for name in fields)
+
+
+_SCHEMA = f"""
+CREATE TABLE IF NOT EXISTS studies (
+    study_id        INTEGER PRIMARY KEY AUTOINCREMENT,
+    config_hash     TEXT NOT NULL,
+    schema_version  INTEGER NOT NULL,
+    stencils        TEXT NOT NULL,
+    variants        TEXT NOT NULL,
+    domain          TEXT NOT NULL,
+    platform_filter TEXT NOT NULL,
+    complete        INTEGER NOT NULL,
+    source          TEXT NOT NULL,
+    git_rev         TEXT NOT NULL,
+    created_utc     TEXT NOT NULL,
+    UNIQUE (config_hash, schema_version)
+);
+CREATE TABLE IF NOT EXISTS points (
+    study_id INTEGER NOT NULL REFERENCES studies(study_id),
+    stencil  TEXT NOT NULL,
+    platform TEXT NOT NULL,
+    variant  TEXT NOT NULL,
+    strategy TEXT NOT NULL,
+    flops    INTEGER NOT NULL,
+    {_columns(TRAFFIC_FIELDS, "REAL")},
+    {_columns(TIMING_FIELDS, "REAL")},
+    {_columns(COST_FIELDS, "INTEGER")},
+    PRIMARY KEY (study_id, stencil, platform, variant)
+);
+CREATE TABLE IF NOT EXISTS failures (
+    study_id   INTEGER NOT NULL REFERENCES studies(study_id),
+    stencil    TEXT NOT NULL,
+    platform   TEXT NOT NULL,
+    variant    TEXT NOT NULL,
+    error_type TEXT NOT NULL,
+    message    TEXT NOT NULL,
+    attempts   INTEGER NOT NULL,
+    timed_out  INTEGER NOT NULL,
+    PRIMARY KEY (study_id, stencil, platform, variant)
+);
+CREATE TABLE IF NOT EXISTS bench_runs (
+    bench_id    INTEGER PRIMARY KEY AUTOINCREMENT,
+    source      TEXT NOT NULL,
+    git_rev     TEXT NOT NULL,
+    created_utc TEXT NOT NULL,
+    doc         TEXT
+);
+CREATE TABLE IF NOT EXISTS bench_gates (
+    bench_id INTEGER NOT NULL REFERENCES bench_runs(bench_id),
+    name     TEXT NOT NULL,
+    value    REAL NOT NULL,
+    passed   INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_points_study ON points (study_id);
+CREATE INDEX IF NOT EXISTS idx_failures_study ON failures (study_id);
+CREATE INDEX IF NOT EXISTS idx_bench_gates_name ON bench_gates (name, bench_id);
+"""
+
+
+def resolve_results_db(path: Optional[str] = None) -> Optional[str]:
+    """``None`` falls back to ``$REPRO_RESULTS_DB`` (empty = off)."""
+    if path is not None:
+        return path or None
+    return os.environ.get(RESULTS_DB_ENV) or None
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+@dataclass(frozen=True)
+class StudyRecord:
+    """One row of the ``studies`` table."""
+
+    study_id: int
+    config_hash: str
+    schema_version: int
+    config: ExperimentConfig
+    complete: bool
+    source: str
+    git_rev: str
+    created_utc: str
+
+    def describe(self) -> str:
+        state = "complete" if self.complete else "degraded"
+        return (
+            f"study {self.study_id} cfg={self.config_hash[:10]} "
+            f"({state}, via {self.source} at {self.created_utc})"
+        )
+
+
+@dataclass(frozen=True)
+class IngestOutcome:
+    """What one :meth:`ResultsStore.ingest_study` call did.
+
+    ``dedup`` — an identical-or-better study was already stored, the
+    call was a no-op; ``replaced`` — a previously degraded study was
+    superseded by one with more completed points.
+    """
+
+    study_id: int
+    points: int
+    failures: int
+    dedup: bool
+    replaced: bool
+
+
+GateSpec = Union[Tuple[float, bool], float]
+
+
+class ResultsStore:
+    """Append-and-query interface over one result database file.
+
+    ``create=False`` refuses to materialise a missing file — read-side
+    consumers (the report generator pointed at a typo'd path) must see
+    "no such database", not an empty history.
+    """
+
+    def __init__(self, path: str, create: bool = True) -> None:
+        if not create and not os.path.exists(path):
+            raise ResultStoreError(f"no result database at {path}")
+        self.path = path
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        # Unopenable paths and non-database files surface as
+        # ResultStoreError so best-effort ingestion hooks can treat
+        # every store failure uniformly.
+        try:
+            self._conn = sqlite3.connect(path)
+            self._conn.row_factory = sqlite3.Row
+            self._check_schema()
+        except sqlite3.Error as exc:
+            raise ResultStoreError(
+                f"cannot open result database {path}: {exc}"
+            ) from exc
+
+    def _check_schema(self) -> None:
+        version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+        if version == 0:
+            with self._conn:
+                self._conn.executescript(_SCHEMA)
+                self._conn.execute(
+                    f"PRAGMA user_version = {RESULTS_SCHEMA_VERSION}"
+                )
+        elif version != RESULTS_SCHEMA_VERSION:
+            self._conn.close()
+            raise ResultStoreError(
+                f"result database {self.path} has schema version "
+                f"{version}, this library writes version "
+                f"{RESULTS_SCHEMA_VERSION}; start a fresh database "
+                f"(cross-version rows would reconstruct wrong)"
+            )
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultsStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ---- ingestion ---------------------------------------------------------
+    def ingest_study(
+        self,
+        study: StudyResults,
+        source: str = "api",
+        git_rev: Optional[str] = None,
+    ) -> IngestOutcome:
+        """Append one study; idempotent per sweep configuration.
+
+        The dedup identity is (``study_cache_key(config)``, row-schema
+        version) — a second ingest of the same config is a no-op.  The
+        one exception is *improvement*: a stored degraded study is
+        replaced when the new one completed strictly more points (the
+        resumed run superseding the interrupted one).  Counted as
+        ``results.ingests`` / ``results.dedup_hits`` /
+        ``results.replaced``.
+        """
+        key = study_cache_key(study.config)
+        if git_rev is None:
+            git_rev = git_state()[0]
+        cfg = study.config
+        with self._conn:
+            row = self._conn.execute(
+                "SELECT study_id, "
+                "(SELECT COUNT(*) FROM points WHERE study_id = s.study_id) "
+                "AS npoints FROM studies s WHERE config_hash = ? AND "
+                "schema_version = ?",
+                (key, SCHEMA_VERSION),
+            ).fetchone()
+            replaced = False
+            if row is not None:
+                if len(study.results) <= row["npoints"]:
+                    counter("results.dedup_hits").inc()
+                    return IngestOutcome(
+                        study_id=row["study_id"],
+                        points=row["npoints"],
+                        failures=0,
+                        dedup=True,
+                        replaced=False,
+                    )
+                # The stored study is strictly worse (a degraded run
+                # this one resumed past): supersede it.
+                for table in ("points", "failures"):
+                    self._conn.execute(
+                        f"DELETE FROM {table} WHERE study_id = ?",
+                        (row["study_id"],),
+                    )
+                self._conn.execute(
+                    "DELETE FROM studies WHERE study_id = ?",
+                    (row["study_id"],),
+                )
+                replaced = True
+            cur = self._conn.execute(
+                "INSERT INTO studies (config_hash, schema_version, stencils, "
+                "variants, domain, platform_filter, complete, source, "
+                "git_rev, created_utc) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    key, SCHEMA_VERSION,
+                    json.dumps(list(cfg.stencils)),
+                    json.dumps(list(cfg.variants)),
+                    json.dumps(list(cfg.domain)),
+                    json.dumps(list(cfg.platform_filter)),
+                    int(study.complete), source, git_rev, _utc_now(),
+                ),
+            )
+            study_id = int(cur.lastrowid or 0)
+            self._insert_points(study_id, study)
+            self._insert_failures(study_id, study)
+        counter("results.ingests").inc()
+        counter("results.points_ingested").inc(len(study.results))
+        if replaced:
+            counter("results.replaced").inc()
+        return IngestOutcome(
+            study_id=study_id,
+            points=len(study.results),
+            failures=len(study.failed),
+            dedup=False,
+            replaced=replaced,
+        )
+
+    def _insert_points(self, study_id: int, study: StudyResults) -> None:
+        columns = (
+            ("stencil", "platform", "variant", "strategy", "flops")
+            + TRAFFIC_FIELDS + TIMING_FIELDS + COST_FIELDS
+        )
+        placeholders = ", ".join("?" for _ in range(len(columns) + 1))
+        rows = []
+        for key in sorted(study.results):
+            r = study.results[key]
+            values: List[Any] = [
+                study_id, r.stencil_name, r.platform.name, r.variant,
+                r.strategy, int(r.flops),
+            ]
+            values += [float(getattr(r.traffic, f)) for f in TRAFFIC_FIELDS]
+            values += [float(getattr(r.timing, f)) for f in TIMING_FIELDS]
+            values += [int(getattr(r.cost, f)) for f in COST_FIELDS]
+            rows.append(tuple(values))
+        if rows:
+            self._conn.executemany(
+                f"INSERT INTO points (study_id, {', '.join(columns)}) "
+                f"VALUES ({placeholders})",
+                rows,
+            )
+
+    def _insert_failures(self, study_id: int, study: StudyResults) -> None:
+        rows = [
+            (
+                study_id, fp.stencil, fp.platform, fp.variant,
+                fp.error_type, fp.message, fp.attempts, int(fp.timed_out),
+            )
+            for _, fp in sorted(study.failed.items())
+        ]
+        if rows:
+            self._conn.executemany(
+                "INSERT INTO failures (study_id, stencil, platform, variant, "
+                "error_type, message, attempts, timed_out) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+
+    def ingest_gates(
+        self,
+        gates: Mapping[str, GateSpec],
+        source: str = "bench_smoke",
+        doc: Optional[Mapping[str, Any]] = None,
+        git_rev: Optional[str] = None,
+    ) -> int:
+        """Append one bench run's gate values; returns its ``bench_id``.
+
+        ``gates`` maps gate name to ``(value, passed)`` (or a bare
+        value, recorded as passed) — the exact shape
+        ``scripts/bench_smoke.py`` builds for the telemetry warehouse.
+        ``doc`` optionally archives the full benchmark record JSON.
+        """
+        if git_rev is None:
+            git_rev = git_state()[0]
+        with self._conn:
+            cur = self._conn.execute(
+                "INSERT INTO bench_runs (source, git_rev, created_utc, doc) "
+                "VALUES (?, ?, ?, ?)",
+                (
+                    source, git_rev, _utc_now(),
+                    json.dumps(doc, sort_keys=True, default=str)
+                    if doc is not None else None,
+                ),
+            )
+            bench_id = int(cur.lastrowid or 0)
+            rows = []
+            for name, spec in gates.items():
+                if isinstance(spec, tuple):
+                    value, passed = spec
+                else:
+                    value, passed = spec, True
+                rows.append((bench_id, name, float(value), int(bool(passed))))
+            if rows:
+                self._conn.executemany(
+                    "INSERT INTO bench_gates (bench_id, name, value, passed) "
+                    "VALUES (?, ?, ?, ?)",
+                    rows,
+                )
+        counter("results.bench_ingests").inc()
+        return bench_id
+
+    # ---- querying ----------------------------------------------------------
+    def _study_from_row(self, row: sqlite3.Row) -> StudyRecord:
+        domain = json.loads(row["domain"])
+        config = ExperimentConfig(
+            stencils=tuple(json.loads(row["stencils"])),
+            variants=tuple(json.loads(row["variants"])),
+            domain=(domain[0], domain[1], domain[2]),
+            platform_filter=tuple(json.loads(row["platform_filter"])),
+        )
+        return StudyRecord(
+            study_id=row["study_id"],
+            config_hash=row["config_hash"],
+            schema_version=row["schema_version"],
+            config=config,
+            complete=bool(row["complete"]),
+            source=row["source"],
+            git_rev=row["git_rev"],
+            created_utc=row["created_utc"],
+        )
+
+    def studies(self) -> List[StudyRecord]:
+        """Every stored study, oldest first."""
+        rows = self._conn.execute(
+            "SELECT * FROM studies ORDER BY study_id"
+        ).fetchall()
+        return [self._study_from_row(r) for r in rows]
+
+    def study_record(
+        self, config: ExperimentConfig
+    ) -> Optional[StudyRecord]:
+        """The stored study for ``config``, or None."""
+        row = self._conn.execute(
+            "SELECT * FROM studies WHERE config_hash = ? AND "
+            "schema_version = ?",
+            (study_cache_key(config), SCHEMA_VERSION),
+        ).fetchone()
+        return self._study_from_row(row) if row else None
+
+    def has_study(self, config: ExperimentConfig) -> bool:
+        return self.study_record(config) is not None
+
+    def load_study(
+        self, config: ExperimentConfig
+    ) -> Optional[StudyResults]:
+        """Reconstruct the stored :class:`StudyResults` for ``config``.
+
+        Returns ``None`` when no row matches (config hash + schema
+        version).  The reconstruction is exact — every float passed
+        through SQLite REAL (IEEE-754 double) unrounded, platforms
+        rebuilt from the catalogue by name — so rendering from a
+        reconstructed study is byte-identical to rendering from the
+        in-memory original (the CI ``report`` gate enforces this).
+        """
+        record = self.study_record(config)
+        if record is None:
+            return None
+        if record.config != config:
+            raise ResultStoreError(
+                f"study {record.study_id} hash-matches but stores a "
+                f"different configuration ({record.config} != {config}); "
+                f"the database is corrupt or hand-edited"
+            )
+        study = StudyResults(config=record.config)
+        platforms = _platform_catalogue(record.config)
+        for row in self._conn.execute(
+            "SELECT * FROM points WHERE study_id = ? "
+            "ORDER BY stencil, platform, variant",
+            (record.study_id,),
+        ).fetchall():
+            result = self._result_from_row(row, record.config, platforms)
+            key = (row["stencil"], row["platform"], row["variant"])
+            study.results[key] = result
+        for row in self._conn.execute(
+            "SELECT * FROM failures WHERE study_id = ? "
+            "ORDER BY stencil, platform, variant",
+            (record.study_id,),
+        ).fetchall():
+            key = (row["stencil"], row["platform"], row["variant"])
+            study.failed[key] = FailedPoint(
+                stencil=row["stencil"],
+                platform=row["platform"],
+                variant=row["variant"],
+                error_type=row["error_type"],
+                message=row["message"],
+                attempts=row["attempts"],
+                timed_out=bool(row["timed_out"]),
+            )
+        # Canonical key order, exactly as run_study leaves it.
+        study.results = {
+            key: study.results[key]
+            for key in config.keys()
+            if key in study.results
+        }
+        counter("results.studies_loaded").inc()
+        return study
+
+    @staticmethod
+    def _result_from_row(
+        row: sqlite3.Row,
+        config: ExperimentConfig,
+        platforms: Dict[str, Platform],
+    ) -> SimulationResult:
+        plat = platforms.get(row["platform"])
+        if plat is None:
+            arch, _, model = row["platform"].partition("-")
+            plat = platform(arch, model)
+        return SimulationResult(
+            platform=plat,
+            variant=row["variant"],
+            stencil_name=row["stencil"],
+            domain=config.domain,
+            flops=int(row["flops"]),
+            traffic=Traffic(**{f: row[f] for f in TRAFFIC_FIELDS}),
+            timing=TimingBreakdown(**{f: row[f] for f in TIMING_FIELDS}),
+            cost=ProgramCost(**{f: int(row[f]) for f in COST_FIELDS}),
+            strategy=row["strategy"],
+        )
+
+    def point_rows(self, config: ExperimentConfig) -> List[Dict[str, Any]]:
+        """Flat typed rows (the CSV schema) of one stored study.
+
+        The same rows :func:`~repro.harness.reporting.result_row`
+        produces from a live study, typed per the shared
+        :data:`~repro.harness.reporting.FIELD_TYPES` map — directly
+        comparable with ``compare_rows`` against a JSON/CSV baseline.
+        """
+        from repro.harness.reporting import result_row
+
+        study = self.load_study(config)
+        if study is None:
+            return []
+        rows = [result_row(r) for r in study.results.values()]
+        for row in rows:
+            for name, target in FIELD_TYPES.items():
+                assert isinstance(row[name], target), (
+                    name, row[name], target,
+                )
+        return rows
+
+    # ---- bench queries -----------------------------------------------------
+    def gate_names(self) -> List[str]:
+        rows = self._conn.execute(
+            "SELECT DISTINCT name FROM bench_gates ORDER BY name"
+        ).fetchall()
+        return [r["name"] for r in rows]
+
+    def gate_history(
+        self, name: str, limit: Optional[int] = None
+    ) -> List[Tuple[int, str, float, bool]]:
+        """(bench_id, created_utc, value, passed) series, oldest first."""
+        rows = self._conn.execute(
+            "SELECT g.bench_id, r.created_utc, g.value, g.passed "
+            "FROM bench_gates g JOIN bench_runs r "
+            "ON g.bench_id = r.bench_id WHERE g.name = ? ORDER BY g.bench_id",
+            (name,),
+        ).fetchall()
+        out = [
+            (r["bench_id"], r["created_utc"], r["value"], bool(r["passed"]))
+            for r in rows
+        ]
+        if limit is not None:
+            out = out[-limit:]
+        return out
+
+
+def _platform_catalogue(config: ExperimentConfig) -> Dict[str, Platform]:
+    return {p.name: p for p in config.platforms()}

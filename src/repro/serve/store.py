@@ -20,6 +20,13 @@ and chaos-job results never reach here at all (see
 
 Traffic is counted as ``serve.store.hits`` / ``serve.store.misses``
 (memory) and ``serve.store.disk_hits`` (warm-start promotions).
+
+With a ``results_db`` (or ``$REPRO_RESULTS_DB``), every study entering
+the store — computed by a job or warm-started from disk — is also
+appended to the SQLite result store (:mod:`repro.results`), so served
+results land in the same queryable history as CLI sweeps.  Ingestion is
+best-effort and deduplicated: a store failure counts
+``results.ingest_errors`` but never fails the serving path.
 """
 
 from __future__ import annotations
@@ -46,10 +53,30 @@ class ResultStore:
     same ``study-<hash>.pkl`` entries as the CLI's ``--cache-dir``.
     """
 
-    def __init__(self, cache_dir: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        results_db: Optional[str] = None,
+    ) -> None:
+        from repro.results import resolve_results_db
+
         self.cache_dir = cache_dir or None
+        self.results_db = resolve_results_db(results_db)
         self._lock = threading.RLock()
         self._memory: Dict[str, StudyResults] = {}
+
+    def _ingest(self, study: StudyResults, source: str) -> None:
+        """Best-effort append to the SQLite result store (if configured)."""
+        if not self.results_db:
+            return
+        from repro.errors import ResultStoreError
+        from repro.results import ResultsStore
+
+        try:
+            with ResultsStore(self.results_db) as store:
+                store.ingest_study(study, source=source)
+        except (OSError, ResultStoreError):
+            counter("results.ingest_errors").inc()
 
     def __len__(self) -> int:
         with self._lock:
@@ -79,6 +106,7 @@ class ResultStore:
                 study = self._promote(key, study)
                 counter("serve.store.hits").inc()
                 counter("serve.store.disk_hits").inc()
+                self._ingest(study, source="serve.promote")
                 return study
         counter("serve.store.misses").inc()
         return None
@@ -107,4 +135,5 @@ class ResultStore:
             self._memory[key] = study
             if self.cache_dir:
                 save_study_cache(study, self.cache_dir)
+        self._ingest(study, source="serve.put")
         return True
